@@ -1,0 +1,48 @@
+"""E8 — Ablation: fan-in H of the multiway combine (the paper's core trick).
+
+Sweeps the number of subproblems merged per level.  Larger H means a shallower
+recursion (fewer rounds) at the cost of more per-level search state — exactly
+the trade-off the paper navigates with H = n^{(1-δ)/10}.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import multiply_permutations, random_permutation
+from repro.mpc import MPCCluster
+from repro.mpc_monge import MongeMPCConfig, mpc_multiply
+
+from conftest import emit
+
+N = 8192
+DELTA = 0.5
+FANINS = (2, 4, 8, 16)
+
+
+def test_fanin_ablation(benchmark, rng):
+    pa, pb = random_permutation(N, rng), random_permutation(N, rng)
+    expected = multiply_permutations(pa, pb)
+    rows = []
+    rounds_by_fanin = {}
+    for fanin in FANINS:
+        cluster = MPCCluster(N, delta=DELTA)
+        config = MongeMPCConfig(fanin=fanin, tree_arity=fanin)
+        assert mpc_multiply(cluster, pa, pb, config) == expected
+        rounds_by_fanin[fanin] = cluster.stats.num_rounds
+        rows.append(
+            [
+                fanin,
+                cluster.stats.num_rounds,
+                cluster.stats.peak_machine_load,
+                cluster.stats.total_communication,
+            ]
+        )
+    emit(
+        f"Fan-in ablation (n={N}, delta={DELTA})",
+        format_table(["fan-in H", "rounds", "peak load", "total communication"], rows),
+    )
+    # Larger fan-in must not use more rounds than the binary warm-up.
+    assert rounds_by_fanin[FANINS[-1]] <= rounds_by_fanin[2]
+
+    config = MongeMPCConfig(fanin=8, tree_arity=8)
+    benchmark(lambda: mpc_multiply(MPCCluster(N, delta=DELTA), pa, pb, config))

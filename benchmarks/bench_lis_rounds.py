@@ -1,0 +1,46 @@
+"""E4 — Theorem 1.3: LIS rounds vs n for this paper and the baselines."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.baselines import chs23_lis_length
+from repro.lis import lis_length, mpc_lis_length
+from repro.mpc import MPCCluster
+from repro.workloads import planted_lis_sequence, random_permutation_sequence
+
+from conftest import emit
+
+SIZES = (512, 2048, 8192)
+DELTA = 0.5
+
+
+@pytest.mark.parametrize("workload", ["random", "planted"])
+def test_lis_round_growth(benchmark, workload):
+    rows = []
+    ours_series, chs_series = [], []
+    for n in SIZES:
+        if workload == "random":
+            seq = random_permutation_sequence(n, seed=n)
+        else:
+            seq = planted_lis_sequence(n, n // 3, seed=n)
+        expected = lis_length(seq)
+        ours = MPCCluster(n, delta=DELTA)
+        assert mpc_lis_length(ours, seq) == expected
+        chs = MPCCluster(n, delta=DELTA)
+        assert chs23_lis_length(chs, seq) == expected
+        rows.append([n, expected, ours.stats.num_rounds, chs.stats.num_rounds])
+        ours_series.append(ours.stats.num_rounds)
+        chs_series.append(chs.stats.num_rounds)
+    emit(
+        f"Exact LIS rounds vs n ({workload} workload, delta={DELTA})",
+        format_table(["n", "LIS", "this paper (rounds)", "CHS23-style (rounds)"], rows)
+        + "\n"
+        + format_series("this paper", SIZES, ours_series)
+        + "\n"
+        + format_series("CHS23-style", SIZES, chs_series),
+    )
+    assert all(o < c for o, c in zip(ours_series, chs_series))
+
+    n = SIZES[0]
+    seq = random_permutation_sequence(n, seed=n)
+    benchmark(lambda: mpc_lis_length(MPCCluster(n, delta=DELTA), seq))

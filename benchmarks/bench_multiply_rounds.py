@@ -1,0 +1,56 @@
+"""E2 — Theorem 1.1: rounds of the O(1)-round multiplication vs the warm-up.
+
+Reproduces the central claim: the constant-round algorithm's round count stays
+(essentially) flat as n grows, while the fan-in-2 warm-up grows like log n and
+the CHS23-style combine grows polylogarithmically.
+"""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.baselines import chs23_multiply
+from repro.core import random_permutation
+from repro.mpc import MPCCluster
+from repro.mpc_monge import mpc_multiply, mpc_multiply_warmup
+
+from conftest import emit
+
+SIZES = (1024, 4096, 16384, 65536)
+DELTA = 0.5
+
+
+def test_multiply_round_growth(benchmark, rng):
+    rows = []
+    series = {"this paper": [], "warm-up (fanin 2)": [], "CHS23-style": []}
+    for n in SIZES:
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        main = MPCCluster(n, delta=DELTA)
+        mpc_multiply(main, pa, pb)
+        warm = MPCCluster(n, delta=DELTA)
+        mpc_multiply_warmup(warm, pa, pb)
+        chs = MPCCluster(n, delta=DELTA)
+        chs23_multiply(chs, pa, pb)
+        rows.append(
+            [n, main.stats.num_rounds, warm.stats.num_rounds, chs.stats.num_rounds,
+             main.stats.peak_machine_load, main.space_per_machine]
+        )
+        series["this paper"].append(main.stats.num_rounds)
+        series["warm-up (fanin 2)"].append(warm.stats.num_rounds)
+        series["CHS23-style"].append(chs.stats.num_rounds)
+
+    emit(
+        "Multiplication rounds vs n (delta=0.5)",
+        format_table(
+            ["n", "this paper", "warm-up", "CHS23-style", "peak load", "space budget"], rows
+        )
+        + "\n"
+        + "\n".join(format_series(k, SIZES, v) for k, v in series.items()),
+    )
+    # Shape check: the constant-round algorithm grows far slower than the warm-up.
+    growth_main = series["this paper"][-1] / series["this paper"][0]
+    growth_warm = series["warm-up (fanin 2)"][-1] / series["warm-up (fanin 2)"][0]
+    assert growth_main < growth_warm
+
+    n = SIZES[1]
+    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+    benchmark(lambda: mpc_multiply(MPCCluster(n, delta=DELTA), pa, pb))

@@ -1,0 +1,40 @@
+"""E5 — Sequential substrate: wall-clock of the seaweed framework.
+
+Not a table/figure of the paper (which has no sequential experiments) but a
+sanity check that the Tiskin-framework substrate scales near-linearly; the
+patience-sorting baseline is faster for the plain LIS length (it computes far
+less: no semi-local structure), which is the expected trade-off.
+"""
+
+import pytest
+
+from repro.core import multiply_permutations, random_permutation
+from repro.lis import lis_length, lis_length_seaweed, value_interval_matrix
+from repro.workloads import random_permutation_sequence
+
+
+@pytest.mark.parametrize("n", [2048, 8192])
+def test_sequential_multiply(benchmark, rng, n):
+    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+    result = benchmark(lambda: multiply_permutations(pa, pb))
+    assert result.size == n
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_sequential_seaweed_lis(benchmark, n):
+    seq = random_permutation_sequence(n, seed=n)
+    expected = lis_length(seq)
+    result = benchmark(lambda: lis_length_seaweed(seq))
+    assert result == expected
+
+
+@pytest.mark.parametrize("n", [4096, 65536])
+def test_patience_baseline(benchmark, n):
+    seq = random_permutation_sequence(n, seed=n)
+    benchmark(lambda: lis_length(seq))
+
+
+def test_semilocal_matrix_construction(benchmark):
+    seq = random_permutation_sequence(2048, seed=7)
+    result = benchmark(lambda: value_interval_matrix(seq))
+    assert result.lis_length() == lis_length(seq)

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces (rounds, space,
+communication) in addition to the pytest-benchmark timing, because the paper's
+claims are about round complexity rather than wall-clock time.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+def emit(title, text):
+    print(f"\n=== {title} ===\n{text}\n")

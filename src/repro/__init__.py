@@ -1,0 +1,34 @@
+"""repro — reproduction of "An Optimal MPC Algorithm for Subunit-Monge Matrix
+Multiplication, with Applications to LIS" (Koo, SPAA 2024).
+
+Public API highlights
+---------------------
+* :mod:`repro.core` — permutation / sub-permutation matrices and sequential
+  (sub)unit-Monge multiplication (``repro.core.multiply``).
+* :mod:`repro.mpc` — a deterministic MPC simulator with round, space and
+  communication accounting, plus the standard O(1)-round primitives.
+* :mod:`repro.mpc_monge` — the paper's O(1)-round multiplication (Theorem 1.1 /
+  1.2) and the O(log n)-round warm-up algorithm.
+* :mod:`repro.lis` / :mod:`repro.lcs` — exact LIS in O(log n) rounds
+  (Theorem 1.3), LCS via Hunt–Szymanski (Corollary 1.3.1), semi-local variants
+  (Corollaries 1.3.2/1.3.3) and sequential baselines.
+* :mod:`repro.baselines` — prior-work comparators used to reproduce Table 1.
+* :mod:`repro.workloads` / :mod:`repro.analysis` — input generators and
+  round-complexity predictions / report formatting for the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, lcs, lis, mpc, mpc_monge, workloads
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "lcs",
+    "lis",
+    "mpc",
+    "mpc_monge",
+    "workloads",
+    "__version__",
+]

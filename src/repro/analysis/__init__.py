@@ -1,0 +1,14 @@
+"""Round-complexity predictions and report formatting."""
+
+from .report import format_series, format_summary, format_table
+from .rounds import TABLE1_PROFILES, AlgorithmProfile, predicted_rounds, recursion_depth
+
+__all__ = [
+    "format_series",
+    "format_summary",
+    "format_table",
+    "TABLE1_PROFILES",
+    "AlgorithmProfile",
+    "predicted_rounds",
+    "recursion_depth",
+]

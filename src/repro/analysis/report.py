@@ -1,0 +1,35 @@
+"""Plain-text table / series formatting used by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_summary"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple aligned text table (no external dependencies)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one x/y series as the paper-style 'figure data' block."""
+    pairs = ", ".join(f"({x}, {y})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_summary(summary: Mapping[str, object]) -> str:
+    """Render a cluster-stats summary dictionary."""
+    return "\n".join(f"  {key:24s} = {value}" for key, value in summary.items())

@@ -1,0 +1,95 @@
+"""Theoretical round-complexity predictions (the right-hand side of Table 1).
+
+These formulas express the asymptotic round counts of the algorithms compared
+in Table 1 of the paper as functions of ``n`` and ``δ``; the benchmarks plot
+the measured simulator rounds against them to confirm the growth shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["AlgorithmProfile", "TABLE1_PROFILES", "predicted_rounds", "recursion_depth"]
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(n, 2))
+
+
+def recursion_depth(n: int, fanin: int, local_threshold: int) -> int:
+    """Depth of the split-recurse-combine tree until subproblems fit locally."""
+    depth = 0
+    size = n
+    while size > max(2, local_threshold):
+        size = math.ceil(size / max(2, fanin))
+        depth += 1
+    return depth
+
+
+@dataclass
+class AlgorithmProfile:
+    """One row of Table 1."""
+
+    name: str
+    reference: str
+    rounds_formula: str
+    scalability: str
+    exact: bool
+    #: Asymptotic round count as a function of (n, delta).
+    rounds: Callable[[int, float], float]
+    #: Admissible range of delta (None = fully scalable).
+    delta_limit: Optional[float] = None
+
+
+TABLE1_PROFILES: Dict[str, AlgorithmProfile] = {
+    "kt10": AlgorithmProfile(
+        name="KT10",
+        reference="[KT10a]",
+        rounds_formula="O(log^2 n)",
+        scalability="delta < 1/3",
+        exact=True,
+        rounds=lambda n, delta: _log2(n) ** 2,
+        delta_limit=1.0 / 3.0,
+    ),
+    "ims17_logn": AlgorithmProfile(
+        name="IMS17 (log n rounds)",
+        reference="[IMS17]",
+        rounds_formula="O(log n)",
+        scalability="fully scalable",
+        exact=False,
+        rounds=lambda n, delta: _log2(n),
+    ),
+    "ims17_const": AlgorithmProfile(
+        name="IMS17 (O(1) rounds)",
+        reference="[IMS17]",
+        rounds_formula="O(1)",
+        scalability="delta < 1/4",
+        exact=False,
+        rounds=lambda n, delta: 1.0,
+        delta_limit=0.25,
+    ),
+    "chs23": AlgorithmProfile(
+        name="CHS23",
+        reference="[CHS23]",
+        rounds_formula="O(log^4 n)",
+        scalability="fully scalable",
+        exact=True,
+        rounds=lambda n, delta: _log2(n) ** 4,
+    ),
+    "this_paper": AlgorithmProfile(
+        name="This paper",
+        reference="[Koo24]",
+        rounds_formula="O(log n)",
+        scalability="fully scalable",
+        exact=True,
+        rounds=lambda n, delta: _log2(n),
+    ),
+}
+
+
+def predicted_rounds(algorithm: str, n: int, delta: float) -> float:
+    """Asymptotic predicted round count for one of the Table 1 rows."""
+    profile = TABLE1_PROFILES[algorithm]
+    return profile.rounds(n, delta)

@@ -1,0 +1,27 @@
+"""Prior-work baselines used to reproduce Table 1 of the paper."""
+
+from .chs23 import (
+    chs23_combine_rounds,
+    chs23_lis_length,
+    chs23_multiply,
+    chs23_multiply_subpermutation,
+)
+from .kt10 import (
+    KT10_DELTA_LIMIT,
+    kt10_check_scalability,
+    kt10_lis_length,
+    kt10_multiply,
+    kt10_multiply_subpermutation,
+)
+
+__all__ = [
+    "chs23_combine_rounds",
+    "chs23_lis_length",
+    "chs23_multiply",
+    "chs23_multiply_subpermutation",
+    "KT10_DELTA_LIMIT",
+    "kt10_check_scalability",
+    "kt10_lis_length",
+    "kt10_multiply",
+    "kt10_multiply_subpermutation",
+]

@@ -1,0 +1,94 @@
+"""A Krusche–Tiskin-style baseline (SPAA 2010).
+
+[KT10a] give a BSP algorithm for subunit-Monge multiplication with O(log n)
+supersteps whose communication/memory cost is ``Õ(n/p + p²)`` — it is
+therefore *not* fully scalable: it only translates to an MPC algorithm for
+``δ < 1/3`` (Table 1), where it yields an ``O(log² n)``-round exact LIS.
+
+This module reproduces that row of Table 1: it refuses to run outside the
+admissible range of ``δ`` and charges O(log n) rounds per multiplication
+(one combine level per superstep).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.permutation import Permutation, SubPermutation
+from ..core.seaweed import multiply_permutations, pad_to_permutations, strip_padding
+from ..lis.semilocal import rank_transform
+from ..lis.mpc_lis import mpc_lis_matrix
+from ..mpc.cluster import MPCCluster
+from ..mpc.errors import ScalabilityError
+
+__all__ = [
+    "KT10_DELTA_LIMIT",
+    "kt10_check_scalability",
+    "kt10_multiply",
+    "kt10_multiply_subpermutation",
+    "kt10_lis_length",
+]
+
+#: The algorithm needs p < n^{1/3} machines, i.e. δ < 1/3.
+KT10_DELTA_LIMIT = 1.0 / 3.0
+
+
+def kt10_check_scalability(cluster: MPCCluster) -> None:
+    """Raise :class:`ScalabilityError` when ``δ`` is outside ``(0, 1/3)``."""
+    if cluster.delta >= KT10_DELTA_LIMIT:
+        raise ScalabilityError(
+            f"the KT10 algorithm requires delta < 1/3 (got delta={cluster.delta}): "
+            f"its Õ(n/p + p²) memory term exceeds the machine space"
+        )
+    # The p² term must also fit into a single machine's memory.
+    quadratic_term = cluster.num_machines ** 2
+    if quadratic_term > cluster.space_per_machine:
+        raise ScalabilityError(
+            f"p² = {quadratic_term} exceeds the per-machine space {cluster.space_per_machine}"
+        )
+
+
+def kt10_multiply(cluster: MPCCluster, pa: Permutation, pb: Permutation) -> Permutation:
+    """Unit-Monge multiplication with KT10-style accounting (O(log n) rounds)."""
+    kt10_check_scalability(cluster)
+    n = pa.size
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+    machine_load = math.ceil(2 * n / cluster.num_machines) + cluster.num_machines ** 2
+    cluster.charge_rounds(
+        log_n, "kt10:superstep", words_per_round=2 * n, max_load=machine_load, phase="kt10"
+    )
+    return multiply_permutations(pa, pb)
+
+
+def kt10_multiply_subpermutation(
+    cluster: MPCCluster, pa: SubPermutation, pb: SubPermutation
+) -> SubPermutation:
+    """Subunit-Monge multiplication via §4.1 padding and the KT10 multiplier."""
+    if (
+        pa.n_rows == pa.n_cols == pb.n_rows == pb.n_cols
+        and pa.is_full_permutation()
+        and pb.is_full_permutation()
+    ):
+        return kt10_multiply(cluster, pa.as_permutation(), pb.as_permutation())
+    n2 = pa.n_cols
+    load = math.ceil(2 * n2 / max(1, cluster.num_machines)) + 1
+    cluster.charge_rounds(3, "kt10:pad", words_per_round=2 * n2, max_load=load, phase="kt10-pad")
+    perm_a, perm_b, info = pad_to_permutations(pa, pb)
+    product = kt10_multiply(cluster, perm_a, perm_b)
+    cluster.charge_round("kt10:strip", words=n2, max_load=load, phase="kt10-pad")
+    return strip_padding(product, info)
+
+
+def kt10_lis_length(cluster: MPCCluster, sequence: Sequence[float], *, strict: bool = True) -> int:
+    """Exact LIS with KT10-style accounting: O(log² n) rounds, δ < 1/3 only."""
+    kt10_check_scalability(cluster)
+    ranks = rank_transform(sequence, strict=strict)
+    if len(ranks) == 0:
+        return 0
+    result = mpc_lis_matrix(
+        cluster, sequence, strict=strict, multiply_fn=kt10_multiply_subpermutation
+    )
+    return result.length

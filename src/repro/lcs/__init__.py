@@ -1,0 +1,22 @@
+"""Longest common subsequence via the Hunt–Szymanski reduction (Cor. 1.3.1/1.3.3)."""
+
+from .dp_baseline import lcs_length_dp, lcs_of_all_suffixes, lcs_table
+from .hunt_szymanski import count_matches, lcs_length_via_lis, match_pairs, match_sequence
+from .mpc_lcs import MPCLCSResult, lcs_cluster_for, mpc_lcs_length
+from .semilocal import SemiLocalLCS, mpc_semilocal_lcs, semilocal_lcs
+
+__all__ = [
+    "lcs_length_dp",
+    "lcs_of_all_suffixes",
+    "lcs_table",
+    "count_matches",
+    "lcs_length_via_lis",
+    "match_pairs",
+    "match_sequence",
+    "MPCLCSResult",
+    "lcs_cluster_for",
+    "mpc_lcs_length",
+    "SemiLocalLCS",
+    "mpc_semilocal_lcs",
+    "semilocal_lcs",
+]

@@ -1,0 +1,43 @@
+"""Classic quadratic dynamic-programming LCS (testing oracle and baseline)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["lcs_length_dp", "lcs_table", "lcs_of_all_suffixes"]
+
+
+def lcs_table(s: Sequence, t: Sequence) -> np.ndarray:
+    """The full ``(|s|+1) x (|t|+1)`` LCS DP table."""
+    m, n = len(s), len(t)
+    table = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        row = table[i]
+        prev = table[i - 1]
+        for j in range(1, n + 1):
+            if s[i - 1] == t[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = max(prev[j], row[j - 1])
+    return table
+
+
+def lcs_length_dp(s: Sequence, t: Sequence) -> int:
+    """``O(|s| |t|)`` textbook LCS length."""
+    return int(lcs_table(s, t)[-1, -1])
+
+
+def lcs_of_all_suffixes(s: Sequence, t: Sequence) -> np.ndarray:
+    """``out[i, j] = LCS(s, t[i:j])`` for all ``0 <= i <= j <= |t|`` (oracle).
+
+    Cubic time; used only to validate the semi-local LCS of Corollary 1.3.3 on
+    small instances.
+    """
+    n = len(t)
+    out = np.zeros((n + 1, n + 1), dtype=np.int64)
+    for i in range(n + 1):
+        for j in range(i, n + 1):
+            out[i, j] = lcs_length_dp(s, t[i:j])
+    return out

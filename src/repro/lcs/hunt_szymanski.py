@@ -1,0 +1,60 @@
+"""The Hunt–Szymanski reduction from LCS to LIS (paper §1.2 / Cor. 1.3.1).
+
+For strings ``S`` and ``T``, list every matching pair ``(i, j)`` with
+``S[i] == T[j]`` in lexicographic order of ``(i, -j)``; a strictly increasing
+subsequence (in ``j``) of that pair list corresponds exactly to a common
+subsequence of ``S`` and ``T``, so ``LCS(S, T)`` equals the strict LIS of the
+``j``-sequence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..lis.patience import lis_length
+
+__all__ = ["match_pairs", "match_sequence", "lcs_length_via_lis", "count_matches"]
+
+
+def match_pairs(s: Sequence, t: Sequence) -> np.ndarray:
+    """All pairs ``(i, j)`` with ``s[i] == t[j]``, ordered by ``(i, -j)``.
+
+    Returns an array of shape ``(num_matches, 2)``.  The number of matches can
+    be as large as ``|s| * |t|`` (this is the Õ(n²) total space the paper's
+    Corollary 1.3.1 requires).
+    """
+    positions: Dict[object, List[int]] = defaultdict(list)
+    for j, symbol in enumerate(t):
+        positions[symbol].append(j)
+    rows: List[Tuple[int, int]] = []
+    for i, symbol in enumerate(s):
+        js = positions.get(symbol)
+        if js:
+            rows.extend((i, j) for j in reversed(js))
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def match_sequence(s: Sequence, t: Sequence) -> np.ndarray:
+    """The ``j``-sequence of :func:`match_pairs` (the LIS input)."""
+    pairs = match_pairs(s, t)
+    return pairs[:, 1] if len(pairs) else np.empty(0, dtype=np.int64)
+
+
+def count_matches(s: Sequence, t: Sequence) -> int:
+    """Number of matching pairs (the size of the LIS instance)."""
+    from collections import Counter
+
+    counts_s = Counter(s)
+    counts_t = Counter(t)
+    return sum(counts_s[symbol] * counts_t.get(symbol, 0) for symbol in counts_s)
+
+
+def lcs_length_via_lis(s: Sequence, t: Sequence) -> int:
+    """Sequential LCS through the Hunt–Szymanski reduction."""
+    seq = match_sequence(s, t)
+    return lis_length(seq, strict=True)

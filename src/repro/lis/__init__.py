@@ -1,0 +1,31 @@
+"""Longest increasing subsequence algorithms (sequential and MPC)."""
+
+from .patience import lis_length, lis_sequence, longest_nondecreasing_length
+from .dp_baseline import lis_length_dp
+from .semilocal import (
+    SemiLocalLIS,
+    lis_length_seaweed,
+    rank_transform,
+    subsegment_matrix,
+    value_interval_matrix,
+)
+from .mpc_lis import MPCLISResult, mpc_lis_length, mpc_lis_matrix, mpc_semilocal_lis
+from .approx import ApproxLISResult, mpc_lis_approx
+
+__all__ = [
+    "lis_length",
+    "lis_sequence",
+    "longest_nondecreasing_length",
+    "lis_length_dp",
+    "SemiLocalLIS",
+    "lis_length_seaweed",
+    "rank_transform",
+    "subsegment_matrix",
+    "value_interval_matrix",
+    "MPCLISResult",
+    "mpc_lis_length",
+    "mpc_lis_matrix",
+    "mpc_semilocal_lis",
+    "ApproxLISResult",
+    "mpc_lis_approx",
+]

@@ -1,0 +1,58 @@
+"""Quadratic dynamic-programming oracles for LIS (testing only)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["lis_length_dp", "lis_of_all_substrings", "lis_of_value_ranges"]
+
+
+def lis_length_dp(sequence: Sequence[float], *, strict: bool = True) -> int:
+    """``O(n^2)`` textbook DP for the LIS length; used to validate fast paths."""
+    seq = list(sequence)
+    n = len(seq)
+    if n == 0:
+        return 0
+    best = [1] * n
+    for i in range(n):
+        for j in range(i):
+            increases = seq[j] < seq[i] if strict else seq[j] <= seq[i]
+            if increases and best[j] + 1 > best[i]:
+                best[i] = best[j] + 1
+    return max(best)
+
+
+def lis_of_all_substrings(sequence: Sequence[float], *, strict: bool = True) -> np.ndarray:
+    """Table ``S[i, j]`` = LIS of ``sequence[i:j]`` for all ``0 <= i <= j <= n``.
+
+    Cubic-ish time; the brute-force oracle for semi-local (subsegment) LIS.
+    """
+    from .patience import lis_length
+
+    seq = list(sequence)
+    n = len(seq)
+    table = np.zeros((n + 1, n + 1), dtype=np.int64)
+    for i in range(n + 1):
+        for j in range(i, n + 1):
+            table[i, j] = lis_length(seq[i:j], strict=strict)
+    return table
+
+
+def lis_of_value_ranges(ranks: Sequence[int]) -> np.ndarray:
+    """Table ``T[x, y]`` = LIS of the elements whose rank lies in ``[x, y)``.
+
+    ``ranks`` must be a permutation of ``0..n-1``; brute-force oracle for the
+    value-interval semi-local LIS matrix.
+    """
+    from .patience import lis_length
+
+    ranks = list(ranks)
+    n = len(ranks)
+    table = np.zeros((n + 1, n + 1), dtype=np.int64)
+    for x in range(n + 1):
+        for y in range(x, n + 1):
+            filtered = [r for r in ranks if x <= r < y]
+            table[x, y] = lis_length(filtered)
+    return table

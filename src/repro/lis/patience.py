@@ -1,0 +1,88 @@
+"""Sequential longest increasing subsequence baselines (Fredman's algorithm).
+
+These are the classical ``O(n log n)`` patience-sorting algorithms used both
+as comparison baselines and as correctness oracles for the seaweed-based and
+MPC algorithms.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "lis_length",
+    "lis_sequence",
+    "longest_nondecreasing_length",
+    "lds_length",
+]
+
+
+def lis_length(sequence: Sequence[float], *, strict: bool = True) -> int:
+    """Length of the longest (strictly) increasing subsequence.
+
+    Uses patience sorting: ``O(n log n)`` time, ``O(n)`` space.
+
+    Parameters
+    ----------
+    sequence:
+        Any sequence of comparable values.
+    strict:
+        When true (default), the subsequence must be strictly increasing;
+        otherwise non-decreasing subsequences are allowed.
+    """
+    piles: List[float] = []
+    insert = bisect.bisect_left if strict else bisect.bisect_right
+    for value in sequence:
+        pos = insert(piles, value)
+        if pos == len(piles):
+            piles.append(value)
+        else:
+            piles[pos] = value
+    return len(piles)
+
+
+def longest_nondecreasing_length(sequence: Sequence[float]) -> int:
+    """Length of the longest non-decreasing subsequence."""
+    return lis_length(sequence, strict=False)
+
+
+def lds_length(sequence: Sequence[float], *, strict: bool = True) -> int:
+    """Length of the longest (strictly) decreasing subsequence."""
+    return lis_length([-v for v in sequence], strict=strict)
+
+
+def lis_sequence(sequence: Sequence[float], *, strict: bool = True) -> List[float]:
+    """An actual longest increasing subsequence (a certificate).
+
+    ``O(n log n)`` time; ties are broken towards the lexicographically first
+    certificate produced by patience sorting with predecessor links.
+    """
+    seq = list(sequence)
+    n = len(seq)
+    if n == 0:
+        return []
+    piles: List[float] = []
+    pile_index_of: List[int] = [0] * n  # pile on which element i landed
+    pile_top_element: List[int] = []  # element index currently on top of pile p
+    predecessor: List[int] = [-1] * n
+    insert = bisect.bisect_left if strict else bisect.bisect_right
+    for i, value in enumerate(seq):
+        pos = insert(piles, value)
+        if pos == len(piles):
+            piles.append(value)
+            pile_top_element.append(i)
+        else:
+            piles[pos] = value
+            pile_top_element[pos] = i
+        pile_index_of[i] = pos
+        predecessor[i] = pile_top_element[pos - 1] if pos > 0 else -1
+    # Backtrack from the top of the last pile.
+    result: List[float] = []
+    idx = pile_top_element[-1]
+    while idx != -1:
+        result.append(seq[idx])
+        idx = predecessor[idx]
+    return result[::-1]

@@ -1,0 +1,370 @@
+"""A deterministic MPC cluster simulator with faithful cost accounting.
+
+The simulator models the MPC regime of the paper (Section 1.1): ``m = O(n^δ)``
+machines with ``s = Õ(n^{1-δ})`` words of memory each.  Data lives in
+:class:`DistributedArray` objects that are partitioned across machines; every
+cluster operation
+
+* charges the number of **rounds** the corresponding MPC primitive needs,
+* charges the **words communicated** in each of those rounds,
+* checks that no machine ever holds more than its **space budget** and raises
+  :class:`~repro.mpc.errors.SpaceExceededError` otherwise,
+* records the peak per-machine load for the scalability experiments.
+
+Local per-machine computation is executed with ordinary vectorised NumPy for
+speed — the simulator is *accounting-faithful* (rounds, communication, space
+and data placement follow the real algorithms) rather than a multi-process
+runtime, which is exactly what is needed to reproduce the paper's claims (the
+paper's results are statements about rounds and space, not wall-clock time of
+a particular cluster).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .accounting import ClusterStats
+from .errors import MachineCountError, SpaceExceededError
+
+__all__ = ["DistributedArray", "MPCCluster"]
+
+
+# Round costs of the basic deterministic primitives (GSZ11); exposed as module
+# constants so that tests and the analysis module can reason about them.
+SORT_ROUNDS = 3
+ROUTE_ROUNDS = 1
+BROADCAST_ROUNDS_PER_LEVEL = 1
+PREFIX_SUM_ROUNDS_PER_LEVEL = 2
+RANK_SEARCH_ROUNDS = SORT_ROUNDS + PREFIX_SUM_ROUNDS_PER_LEVEL + ROUTE_ROUNDS
+
+
+class DistributedArray:
+    """A one-dimensional array partitioned across the machines of a cluster.
+
+    ``chunks[p]`` is the slice held by machine ``p``.  The concatenation of
+    the chunks (in machine order) is the logical array content.
+    """
+
+    def __init__(self, cluster: "MPCCluster", chunks: List[np.ndarray], label: str = "") -> None:
+        self.cluster = cluster
+        self.chunks = [np.asarray(chunk) for chunk in chunks]
+        self.label = label
+        cluster._check_chunks(self.chunks, context=label)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def total_size(self) -> int:
+        return int(sum(len(chunk) for chunk in self.chunks))
+
+    @property
+    def chunk_sizes(self) -> List[int]:
+        return [len(chunk) for chunk in self.chunks]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def to_array(self) -> np.ndarray:
+        """Materialise the logical array (driver-side view, free of charge)."""
+        if not self.chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.chunks)
+
+    def map_chunks(self, fn: Callable[[np.ndarray, int], np.ndarray], label: str = "map") -> "DistributedArray":
+        """Apply a local (per-machine) function to every chunk; no round cost."""
+        new_chunks = [fn(chunk, index) for index, chunk in enumerate(self.chunks)]
+        self.cluster.stats.local_operations += self.total_size
+        return DistributedArray(self.cluster, new_chunks, label=label)
+
+    def __len__(self) -> int:
+        return self.total_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedArray(label={self.label!r}, total={self.total_size}, "
+            f"machines={self.num_chunks})"
+        )
+
+
+class MPCCluster:
+    """A simulated MPC cluster (machines, space budget, accounting).
+
+    Parameters
+    ----------
+    n:
+        Problem size used to derive the default machine count and space.
+    delta:
+        The scalability parameter ``δ`` with ``0 < δ < 1``: ``m = Θ(n^δ)``
+        machines and ``s = Õ(n^{1-δ})`` words each.
+    num_machines, space_per_machine:
+        Explicit overrides (used by :meth:`fork` and by tests).
+    space_slack:
+        Constant factor in front of ``n^{1-δ}``.
+    polylog_exponent:
+        Exponent of the ``log₂ n`` factor hidden in ``Õ`` (default 1).
+    strict_space:
+        When false, space violations are recorded (peak load) but do not
+        raise; used by the space-overhead ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delta: float = 0.5,
+        *,
+        num_machines: Optional[int] = None,
+        space_per_machine: Optional[int] = None,
+        space_slack: float = 2.0,
+        polylog_exponent: float = 1.0,
+        strict_space: bool = True,
+    ) -> None:
+        if not (0.0 < delta < 1.0):
+            raise ValueError("delta must lie strictly between 0 and 1")
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = int(n)
+        self.delta = float(delta)
+        self.space_slack = float(space_slack)
+        self.polylog_exponent = float(polylog_exponent)
+        self.strict_space = bool(strict_space)
+
+        if num_machines is None:
+            num_machines = max(1, math.ceil(n ** delta))
+        if space_per_machine is None:
+            polylog = max(1.0, math.log2(max(n, 2))) ** polylog_exponent
+            # The MPC model assumes s = Ω(polylog n); the floor of 64 words
+            # keeps degenerate toy instances (n of a few dozen) solvable on a
+            # single machine without affecting any asymptotic accounting.
+            space_per_machine = max(64, math.ceil(space_slack * (n ** (1.0 - delta)) * polylog))
+        self.num_machines = int(num_machines)
+        self.space_per_machine = int(space_per_machine)
+        self.stats = ClusterStats(
+            num_machines=self.num_machines, space_per_machine=self.space_per_machine
+        )
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def total_space(self) -> int:
+        """Aggregate memory of the cluster (``m * s``)."""
+        return self.num_machines * self.space_per_machine
+
+    def _check_load(self, load: int, machine: int = -1, context: str = "") -> None:
+        self.stats.record_load(load)
+        if load > self.space_per_machine and self.strict_space:
+            raise SpaceExceededError(machine, load, self.space_per_machine, context)
+
+    def _check_chunks(self, chunks: Sequence[np.ndarray], context: str = "") -> None:
+        if len(chunks) > self.num_machines:
+            raise MachineCountError(
+                f"{len(chunks)} chunks but only {self.num_machines} machines ({context})"
+            )
+        for index, chunk in enumerate(chunks):
+            self._check_load(len(chunk), machine=index, context=context)
+
+    def charge_round(
+        self, label: str, words: int, max_load: Optional[int] = None, phase: str = ""
+    ) -> None:
+        """Explicitly charge one communication round (for composite steps)."""
+        if max_load is None:
+            max_load = min(words, self.space_per_machine)
+        self._check_load(max_load, context=label)
+        self.stats.record_round(label, words, max_load, phase=phase)
+
+    def charge_rounds(
+        self, count: int, label: str, words_per_round: int, max_load: Optional[int] = None, phase: str = ""
+    ) -> None:
+        for _ in range(max(0, int(count))):
+            self.charge_round(label, words_per_round, max_load, phase=phase)
+
+    def tree_depth(self) -> int:
+        """Depth of an ``s``-ary aggregation tree over the machines (O(1))."""
+        if self.num_machines <= 1:
+            return 1
+        return max(1, math.ceil(math.log(self.num_machines, max(2, self.space_per_machine))))
+
+    # ----------------------------------------------------------- distribution
+    def partition_bounds(self, total: int, parts: Optional[int] = None) -> np.ndarray:
+        parts = parts if parts is not None else self.num_machines
+        return np.linspace(0, total, parts + 1).round().astype(np.int64)
+
+    def distribute(self, array: Union[Sequence, np.ndarray], label: str = "input") -> DistributedArray:
+        """Place an input array across the machines in contiguous blocks.
+
+        Input placement is part of the MPC model's starting state and costs no
+        rounds, but the per-machine block size must respect the space budget.
+        """
+        array = np.asarray(array)
+        bounds = self.partition_bounds(len(array))
+        chunks = [array[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
+        return DistributedArray(self, chunks, label=label)
+
+    def distributed_from_chunks(self, chunks: List[np.ndarray], label: str = "") -> DistributedArray:
+        return DistributedArray(self, chunks, label=label)
+
+    # ------------------------------------------------------------- primitives
+    def broadcast(self, array: Union[Sequence, np.ndarray], label: str = "broadcast") -> np.ndarray:
+        """Broadcast a small array to every machine (tree of arity ``s``)."""
+        array = np.asarray(array)
+        self._check_load(len(array), context=label)
+        depth = self.tree_depth()
+        for _ in range(depth * BROADCAST_ROUNDS_PER_LEVEL):
+            self.charge_round(label, words=len(array) * self.num_machines, max_load=len(array))
+        return array
+
+    def route(
+        self,
+        darr: DistributedArray,
+        destinations: np.ndarray,
+        label: str = "route",
+        payload: Optional[np.ndarray] = None,
+    ) -> DistributedArray:
+        """All-to-all: send element ``i`` to machine ``destinations[i]``.
+
+        One round; the received chunks are ordered by source machine (stable).
+        Returns the distributed array of payloads after routing (payload
+        defaults to the array content itself).
+        """
+        values = payload if payload is not None else darr.to_array()
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if len(destinations) != len(values):
+            raise ValueError("destinations must match the array length")
+        if destinations.size and (
+            destinations.min() < 0 or destinations.max() >= self.num_machines
+        ):
+            raise MachineCountError("destination machine index out of range")
+        order = np.argsort(destinations, kind="stable")
+        sorted_vals = values[order]
+        sorted_dest = destinations[order]
+        boundaries = np.searchsorted(sorted_dest, np.arange(self.num_machines + 1))
+        chunks = [
+            sorted_vals[boundaries[p] : boundaries[p + 1]] for p in range(self.num_machines)
+        ]
+        max_load = max((len(c) for c in chunks), default=0)
+        self.charge_round(label, words=len(values), max_load=max_load)
+        return DistributedArray(self, chunks, label=label)
+
+    def sort(
+        self,
+        darr: DistributedArray,
+        label: str = "sort",
+        key: Optional[np.ndarray] = None,
+    ) -> DistributedArray:
+        """Deterministic O(1)-round sort (Lemma 2.5, [GSZ11]).
+
+        Simulated as sample sort with regular sampling: one round to collect
+        the per-machine regular samples, one to broadcast the splitters and
+        one to route the data; the output is range-partitioned across the
+        machines.
+        """
+        values = darr.to_array()
+        keys = values if key is None else np.asarray(key)
+        if len(keys) != len(values):
+            raise ValueError("key must match the array length")
+        order = np.argsort(keys, kind="stable")
+        sorted_vals = values[order]
+        total = len(sorted_vals)
+        bounds = self.partition_bounds(total)
+        chunks = [sorted_vals[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
+        max_load = max((len(c) for c in chunks), default=0)
+        # Round 1: every machine sends m regular samples to the coordinator.
+        sample_words = min(total, self.num_machines * self.num_machines)
+        self.charge_round(f"{label}:sample", words=sample_words, max_load=min(sample_words, self.space_per_machine))
+        # Round 2: the coordinator broadcasts the m-1 splitters.
+        self.charge_round(f"{label}:splitters", words=self.num_machines * self.num_machines, max_load=self.num_machines)
+        # Round 3: data is routed to its destination bucket.
+        self.charge_round(f"{label}:route", words=total, max_load=max_load)
+        return DistributedArray(self, chunks, label=label)
+
+    def prefix_sum(
+        self, darr: DistributedArray, label: str = "prefix_sum", exclusive: bool = True
+    ) -> DistributedArray:
+        """Deterministic O(1)-round prefix sums (Lemma 2.4, [GSZ11])."""
+        values = darr.to_array().astype(np.int64)
+        totals = np.cumsum(values)
+        result = totals - values if exclusive else totals
+        bounds = np.cumsum([0] + darr.chunk_sizes)
+        chunks = [result[bounds[p] : bounds[p + 1]] for p in range(len(darr.chunks))]
+        depth = self.tree_depth()
+        for _ in range(depth * PREFIX_SUM_ROUNDS_PER_LEVEL):
+            self.charge_round(
+                label,
+                words=self.num_machines,
+                max_load=max(darr.chunk_sizes, default=0),
+            )
+        return DistributedArray(self, chunks, label=label)
+
+    def inverse_permutation(self, darr: DistributedArray, label: str = "inverse") -> DistributedArray:
+        """Invert a distributed permutation in one round (Lemma 2.3)."""
+        perm = darr.to_array()
+        n = len(perm)
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[perm] = np.arange(n, dtype=np.int64)
+        bounds = self.partition_bounds(n)
+        chunks = [inverse[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
+        max_load = max((len(c) for c in chunks), default=0)
+        self.charge_round(label, words=n, max_load=max_load)
+        return DistributedArray(self, chunks, label=label)
+
+    def rank_search(
+        self,
+        data: DistributedArray,
+        queries: DistributedArray,
+        label: str = "rank_search",
+    ) -> DistributedArray:
+        """Offline rank searching (Lemma 2.6): ``r_i = #{a in data : a < q_i}``.
+
+        Sort data and queries together, prefix-sum the indicator of data
+        elements, and route the answers back to the queries' home machines.
+        """
+        data_values = data.to_array()
+        query_values = queries.to_array()
+        answers = np.searchsorted(np.sort(data_values), query_values, side="left")
+        bounds = np.cumsum([0] + queries.chunk_sizes)
+        chunks = [answers[bounds[p] : bounds[p + 1]] for p in range(len(queries.chunks))]
+        total = len(data_values) + len(query_values)
+        max_load = max(
+            max(data.chunk_sizes, default=0) + max(queries.chunk_sizes, default=0),
+            math.ceil(total / self.num_machines),
+        )
+        for _ in range(SORT_ROUNDS):
+            self.charge_round(f"{label}:sort", words=total, max_load=max_load)
+        for _ in range(PREFIX_SUM_ROUNDS_PER_LEVEL * self.tree_depth()):
+            self.charge_round(f"{label}:prefix", words=self.num_machines, max_load=max_load)
+        self.charge_round(f"{label}:return", words=len(query_values), max_load=max_load)
+        return DistributedArray(self, chunks, label=label)
+
+    # ------------------------------------------------------------------- fork
+    def fork(self, groups: int, label: str = "fork") -> List["MPCCluster"]:
+        """Split the cluster into ``groups`` sub-clusters that run in parallel.
+
+        Machines are divided as evenly as possible (at least one machine per
+        group); the sub-clusters keep the same per-machine space budget.  Use
+        :meth:`join` afterwards to absorb their statistics with max-round
+        (parallel composition) semantics.
+        """
+        groups = max(1, int(groups))
+        per_group = [
+            max(1, self.num_machines // groups + (1 if g < self.num_machines % groups else 0))
+            for g in range(groups)
+        ]
+        children = []
+        for g in range(groups):
+            child = MPCCluster(
+                self.n,
+                self.delta,
+                num_machines=per_group[g],
+                space_per_machine=self.space_per_machine,
+                space_slack=self.space_slack,
+                polylog_exponent=self.polylog_exponent,
+                strict_space=self.strict_space,
+            )
+            children.append(child)
+        return children
+
+    def join(self, children: List["MPCCluster"], label: str = "parallel") -> None:
+        """Absorb the statistics of sub-clusters created by :meth:`fork`."""
+        self.stats.absorb_parallel([child.stats for child in children], label=label)

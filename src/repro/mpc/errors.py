@@ -1,0 +1,38 @@
+"""Exceptions raised by the MPC simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPCError",
+    "SpaceExceededError",
+    "ScalabilityError",
+    "MachineCountError",
+]
+
+
+class MPCError(RuntimeError):
+    """Base class for all MPC simulation errors."""
+
+
+class SpaceExceededError(MPCError):
+    """A machine would need to hold more than its space budget ``s``."""
+
+    def __init__(self, machine: int, required: int, budget: int, context: str = "") -> None:
+        self.machine = machine
+        self.required = required
+        self.budget = budget
+        self.context = context
+        message = (
+            f"machine {machine} needs {required} words but only has {budget}"
+        )
+        if context:
+            message += f" ({context})"
+        super().__init__(message)
+
+
+class ScalabilityError(MPCError):
+    """An algorithm was invoked outside its admissible range of ``delta``."""
+
+
+class MachineCountError(MPCError):
+    """A computation requires more machines than the cluster provides."""

@@ -1,0 +1,83 @@
+"""Standalone wrappers around the cluster's O(1)-round primitives.
+
+These correspond one-to-one to the paper's basic tools (Section 2.2):
+
+* Lemma 2.3 — :func:`inverse_permutation`
+* Lemma 2.4 — :func:`prefix_sum`
+* Lemma 2.5 — :func:`mpc_sort`
+* Lemma 2.6 — :func:`offline_rank_search`
+
+They exist mostly to make algorithm code read like the paper; each simply
+delegates to the corresponding :class:`~repro.mpc.cluster.MPCCluster` method
+(which performs the actual accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .cluster import DistributedArray, MPCCluster
+
+__all__ = [
+    "mpc_sort",
+    "prefix_sum",
+    "inverse_permutation",
+    "offline_rank_search",
+    "broadcast",
+]
+
+ArrayLike = Union[Sequence, np.ndarray]
+
+
+def _ensure_distributed(cluster: MPCCluster, data: Union[ArrayLike, DistributedArray]) -> DistributedArray:
+    if isinstance(data, DistributedArray):
+        return data
+    return cluster.distribute(np.asarray(data))
+
+
+def mpc_sort(
+    cluster: MPCCluster,
+    data: Union[ArrayLike, DistributedArray],
+    key: Optional[np.ndarray] = None,
+    label: str = "sort",
+) -> DistributedArray:
+    """Deterministic O(1)-round sorting (Lemma 2.5)."""
+    return cluster.sort(_ensure_distributed(cluster, data), label=label, key=key)
+
+
+def prefix_sum(
+    cluster: MPCCluster,
+    data: Union[ArrayLike, DistributedArray],
+    exclusive: bool = True,
+    label: str = "prefix_sum",
+) -> DistributedArray:
+    """Deterministic O(1)-round prefix sums (Lemma 2.4)."""
+    return cluster.prefix_sum(_ensure_distributed(cluster, data), label=label, exclusive=exclusive)
+
+
+def inverse_permutation(
+    cluster: MPCCluster,
+    permutation: Union[ArrayLike, DistributedArray],
+    label: str = "inverse",
+) -> DistributedArray:
+    """Invert a permutation in O(1) rounds (Lemma 2.3)."""
+    return cluster.inverse_permutation(_ensure_distributed(cluster, permutation), label=label)
+
+
+def offline_rank_search(
+    cluster: MPCCluster,
+    data: Union[ArrayLike, DistributedArray],
+    queries: Union[ArrayLike, DistributedArray],
+    label: str = "rank_search",
+) -> DistributedArray:
+    """Offline rank searching in O(1) rounds (Lemma 2.6)."""
+    return cluster.rank_search(
+        _ensure_distributed(cluster, data), _ensure_distributed(cluster, queries), label=label
+    )
+
+
+def broadcast(cluster: MPCCluster, values: ArrayLike, label: str = "broadcast") -> np.ndarray:
+    """Broadcast an O(s)-sized message to every machine."""
+    return cluster.broadcast(values, label=label)

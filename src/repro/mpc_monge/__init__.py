@@ -1,0 +1,27 @@
+"""MPC algorithms for (sub)unit-Monge matrix multiplication (Theorems 1.1/1.2)."""
+
+from .common import SubgridInstance, grid_corners
+from .constant_round import (
+    MongeMPCConfig,
+    default_fanin,
+    mpc_combine,
+    mpc_multiply,
+    paper_fanin,
+    paper_grid_size,
+)
+from .subpermutation import mpc_multiply_subpermutation
+from .warmup import mpc_multiply_warmup, warmup_config
+
+__all__ = [
+    "default_fanin",
+    "SubgridInstance",
+    "grid_corners",
+    "MongeMPCConfig",
+    "mpc_combine",
+    "mpc_multiply",
+    "mpc_multiply_subpermutation",
+    "mpc_multiply_warmup",
+    "warmup_config",
+    "paper_fanin",
+    "paper_grid_size",
+]

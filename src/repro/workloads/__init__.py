@@ -1,0 +1,23 @@
+"""Workload generators for tests, examples and benchmarks."""
+
+from .generators import (
+    block_sorted_sequence,
+    correlated_string_pair,
+    decreasing_sequence,
+    duplicate_heavy_sequence,
+    near_sorted_sequence,
+    planted_lis_sequence,
+    random_permutation_sequence,
+    random_string_pair,
+)
+
+__all__ = [
+    "block_sorted_sequence",
+    "correlated_string_pair",
+    "decreasing_sequence",
+    "duplicate_heavy_sequence",
+    "near_sorted_sequence",
+    "planted_lis_sequence",
+    "random_permutation_sequence",
+    "random_string_pair",
+]

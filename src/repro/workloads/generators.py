@@ -1,0 +1,114 @@
+"""Workload generators for the tests, examples and benchmarks.
+
+The paper has no experimental section, so these workloads are the standard
+ones used by the LIS / LCS literature it builds on: uniformly random
+permutations (LIS ≈ 2√n), sequences with a planted long increasing
+subsequence, block-sorted adversarial inputs that maximise the number of
+demarcation-line crossings in the combine step, and string pairs with
+controlled match density for the Hunt–Szymanski reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "random_permutation_sequence",
+    "planted_lis_sequence",
+    "block_sorted_sequence",
+    "decreasing_sequence",
+    "near_sorted_sequence",
+    "duplicate_heavy_sequence",
+    "random_string_pair",
+    "correlated_string_pair",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_permutation_sequence(n: int, seed: Optional[int] = None) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1`` (expected LIS ≈ 2√n)."""
+    return _rng(seed).permutation(n).astype(np.int64)
+
+
+def planted_lis_sequence(n: int, lis_length: int, seed: Optional[int] = None) -> np.ndarray:
+    """A permutation with a planted increasing subsequence of ≥ ``lis_length``.
+
+    ``lis_length`` positions carry the largest values in increasing order;
+    everything else is a random permutation of the remaining values arranged
+    in decreasing order between the planted anchors.
+    """
+    if lis_length > n:
+        raise ValueError("lis_length cannot exceed n")
+    rng = _rng(seed)
+    sequence = np.empty(n, dtype=np.int64)
+    planted_positions = np.sort(rng.choice(n, size=lis_length, replace=False))
+    planted_values = np.arange(n - lis_length, n, dtype=np.int64)
+    sequence[planted_positions] = planted_values
+    other_positions = np.setdiff1d(np.arange(n), planted_positions, assume_unique=True)
+    other_values = rng.permutation(n - lis_length).astype(np.int64)
+    sequence[other_positions] = other_values
+    return sequence
+
+
+def block_sorted_sequence(n: int, num_blocks: int, seed: Optional[int] = None) -> np.ndarray:
+    """Blocks of decreasing values whose block maxima increase.
+
+    The LIS must pick exactly one element per block (LIS = ``num_blocks``),
+    which maximises the interleaving work of the divide-and-conquer combine.
+    """
+    rng = _rng(seed)
+    values = np.arange(n, dtype=np.int64)
+    bounds = np.linspace(0, n, num_blocks + 1).round().astype(np.int64)
+    out = np.empty(n, dtype=np.int64)
+    for b in range(num_blocks):
+        lo, hi = bounds[b], bounds[b + 1]
+        out[lo:hi] = values[lo:hi][::-1]
+    return out
+
+
+def decreasing_sequence(n: int) -> np.ndarray:
+    """The strictly decreasing sequence (LIS = 1)."""
+    return np.arange(n - 1, -1, -1, dtype=np.int64)
+
+
+def near_sorted_sequence(n: int, swaps: int, seed: Optional[int] = None) -> np.ndarray:
+    """An almost sorted permutation with ``swaps`` random adjacent-ish swaps."""
+    rng = _rng(seed)
+    out = np.arange(n, dtype=np.int64)
+    for _ in range(swaps):
+        i = int(rng.integers(0, max(1, n - 1)))
+        j = min(n - 1, i + int(rng.integers(1, 4)))
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def duplicate_heavy_sequence(n: int, alphabet: int, seed: Optional[int] = None) -> np.ndarray:
+    """A sequence with many repeated values (tests the tie-breaking paths)."""
+    return _rng(seed).integers(0, max(1, alphabet), size=n).astype(np.int64)
+
+
+def random_string_pair(
+    n: int, alphabet: int, seed: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two independent random strings over a given alphabet size."""
+    rng = _rng(seed)
+    s = rng.integers(0, max(1, alphabet), size=n).astype(np.int64)
+    t = rng.integers(0, max(1, alphabet), size=n).astype(np.int64)
+    return s, t
+
+
+def correlated_string_pair(
+    n: int, alphabet: int, mutation_rate: float, seed: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A string and a mutated copy (realistic LCS workload with a long LCS)."""
+    rng = _rng(seed)
+    s = rng.integers(0, max(1, alphabet), size=n).astype(np.int64)
+    t = s.copy()
+    mutate = rng.random(n) < mutation_rate
+    t[mutate] = rng.integers(0, max(1, alphabet), size=int(mutate.sum()))
+    return s, t

@@ -1,0 +1,9 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

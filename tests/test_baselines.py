@@ -1,0 +1,77 @@
+"""Tests for the prior-work baselines used in the Table 1 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KT10_DELTA_LIMIT,
+    chs23_combine_rounds,
+    chs23_lis_length,
+    chs23_multiply,
+    chs23_multiply_subpermutation,
+    kt10_check_scalability,
+    kt10_lis_length,
+    kt10_multiply,
+)
+from repro.core import multiply, multiply_permutations, random_permutation, random_subpermutation
+from repro.lis import lis_length, mpc_lis_length
+from repro.mpc import MPCCluster, ScalabilityError
+from repro.workloads import random_permutation_sequence
+
+
+class TestCHS23:
+    def test_multiply_correct(self, rng):
+        for n in (16, 90, 250):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            cluster = MPCCluster(n, delta=0.5)
+            assert chs23_multiply(cluster, pa, pb) == multiply_permutations(pa, pb)
+
+    def test_subpermutation_variant(self, rng):
+        pa = random_subpermutation(20, 25, 12, rng)
+        pb = random_subpermutation(25, 18, 10, rng)
+        cluster = MPCCluster(25, delta=0.5)
+        assert chs23_multiply_subpermutation(cluster, pa, pb) == multiply(pa, pb)
+
+    def test_lis_correct(self):
+        seq = random_permutation_sequence(300, seed=2)
+        cluster = MPCCluster(300, delta=0.5)
+        assert chs23_lis_length(cluster, seq) == lis_length(seq)
+
+    def test_combine_rounds_formula(self):
+        assert chs23_combine_rounds(1024) == 100
+        assert chs23_combine_rounds(2) == 1
+
+    def test_uses_more_rounds_than_this_paper(self):
+        n = 1024
+        seq = random_permutation_sequence(n, seed=3)
+        ours = MPCCluster(n, delta=0.5)
+        mpc_lis_length(ours, seq)
+        theirs = MPCCluster(n, delta=0.5)
+        chs23_lis_length(theirs, seq)
+        assert theirs.stats.num_rounds > ours.stats.num_rounds
+
+
+class TestKT10:
+    def test_scalability_check(self):
+        with pytest.raises(ScalabilityError):
+            kt10_check_scalability(MPCCluster(1000, delta=0.5))
+        # Admissible delta passes.
+        kt10_check_scalability(MPCCluster(10_000, delta=0.25))
+        assert KT10_DELTA_LIMIT == pytest.approx(1.0 / 3.0)
+
+    def test_multiply_correct_in_admissible_range(self, rng):
+        n = 200
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        cluster = MPCCluster(n, delta=0.25)
+        assert kt10_multiply(cluster, pa, pb) == multiply_permutations(pa, pb)
+
+    def test_multiply_rejected_outside_range(self, rng):
+        n = 200
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        with pytest.raises(ScalabilityError):
+            kt10_multiply(MPCCluster(n, delta=0.6), pa, pb)
+
+    def test_lis_correct(self):
+        seq = random_permutation_sequence(250, seed=5)
+        cluster = MPCCluster(250, delta=0.25)
+        assert kt10_lis_length(cluster, seq) == lis_length(seq)

@@ -1,0 +1,96 @@
+"""Unit tests for the dense ground-truth multiplication oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Permutation,
+    SubPermutation,
+    identity_permutation,
+    is_distribution_matrix,
+    multiply_dense,
+    random_permutation,
+    random_subpermutation,
+)
+from repro.core.dense import minplus_distribution_product, subpermutation_from_distribution
+
+
+class TestMinPlusProduct:
+    def test_shape_mismatch(self):
+        a = np.zeros((3, 4), dtype=np.int64)
+        b = np.zeros((5, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            minplus_distribution_product(a, b)
+
+    def test_identity_distribution(self):
+        ident = identity_permutation(4)
+        dist = ident.distribution_matrix()
+        prod = minplus_distribution_product(dist, dist)
+        assert np.array_equal(prod, dist)
+
+    def test_small_known_product(self):
+        # The reversal permutation is idempotent under the ⊡ product (its
+        # distribution matrix is the pointwise smallest, hence absorbing).
+        rev = Permutation([2, 1, 0])
+        result = multiply_dense(rev, rev)
+        assert result == rev
+        assert multiply_dense(Permutation([1, 2, 0]), Permutation([2, 0, 1])) == rev
+
+    def test_identity_is_neutral(self, rng):
+        p = random_permutation(9, rng)
+        ident = identity_permutation(9)
+        assert multiply_dense(p, ident) == p
+        assert multiply_dense(ident, p) == p
+
+
+class TestDistributionRecovery:
+    def test_roundtrip(self, rng):
+        for _ in range(10):
+            sp = random_subpermutation(8, 10, 5, rng)
+            assert subpermutation_from_distribution(sp.distribution_matrix()) == sp
+
+    def test_invalid_distribution_rejected(self):
+        bad = np.array([[0, 2], [0, 0]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            subpermutation_from_distribution(bad)
+
+    def test_is_distribution_matrix(self, rng):
+        sp = random_subpermutation(7, 7, 4, rng)
+        assert is_distribution_matrix(sp.distribution_matrix())
+        assert not is_distribution_matrix(np.array([[1, 0], [0, 0]]))
+
+
+class TestMultiplyDense:
+    def test_product_is_permutation_when_inputs_are(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 25))
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            result = multiply_dense(pa, pb)
+            assert isinstance(result, Permutation)
+            result.validate()
+
+    def test_product_respects_definition(self, rng):
+        # Check the defining min-plus identity on the distribution matrices.
+        n = 12
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        pc = multiply_dense(pa, pb)
+        da, db, dc = (
+            pa.distribution_matrix(),
+            pb.distribution_matrix(),
+            pc.distribution_matrix(),
+        )
+        expected = minplus_distribution_product(da, db)
+        assert np.array_equal(dc, expected)
+
+    def test_subpermutation_nonzeros_bound(self, rng):
+        pa = random_subpermutation(9, 7, 4, rng)
+        pb = random_subpermutation(7, 11, 5, rng)
+        pc = multiply_dense(pa, pb)
+        assert pc.shape == (9, 11)
+        assert pc.num_nonzeros <= min(pa.num_nonzeros, pb.num_nonzeros)
+
+    def test_inner_dimension_mismatch(self, rng):
+        pa = random_subpermutation(4, 5, 2, rng)
+        pb = random_subpermutation(6, 4, 2, rng)
+        with pytest.raises(ValueError):
+            multiply_dense(pa, pb)

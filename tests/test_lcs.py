@@ -1,0 +1,100 @@
+"""Tests for the LCS algorithms (Corollaries 1.3.1 and 1.3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lcs import (
+    count_matches,
+    lcs_cluster_for,
+    lcs_length_dp,
+    lcs_length_via_lis,
+    lcs_of_all_suffixes,
+    match_pairs,
+    mpc_lcs_length,
+    mpc_semilocal_lcs,
+    semilocal_lcs,
+)
+from repro.mpc import MPCCluster, SpaceExceededError
+from repro.workloads import correlated_string_pair, random_string_pair
+
+
+class TestHuntSzymanski:
+    def test_match_pairs_order(self):
+        pairs = match_pairs("aba", "ab")
+        # ordered by (i asc, j desc)
+        assert pairs.tolist() == [[0, 0], [1, 1], [2, 0]]
+
+    def test_count_matches(self):
+        s, t = "abca", "aab"
+        assert count_matches(s, t) == len(match_pairs(s, t))
+
+    def test_lcs_via_lis_matches_dp(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 30))
+            s = rng.integers(0, 5, size=n)
+            t = rng.integers(0, 5, size=int(rng.integers(1, 30)))
+            assert lcs_length_via_lis(list(s), list(t)) == lcs_length_dp(list(s), list(t))
+
+    def test_no_matches(self):
+        assert lcs_length_via_lis("abc", "xyz") == 0
+        assert len(match_pairs("abc", "xyz")) == 0
+
+
+class TestMPCLCS:
+    def test_matches_dp(self):
+        s, t = random_string_pair(50, 6, seed=3)
+        cluster = lcs_cluster_for(len(s), len(t), count_matches(s, t))
+        result = mpc_lcs_length(cluster, s, t)
+        assert result.length == lcs_length_dp(s, t)
+        assert result.num_matches == count_matches(s, t)
+
+    def test_correlated_strings(self):
+        s, t = correlated_string_pair(60, 10, 0.2, seed=4)
+        cluster = lcs_cluster_for(len(s), len(t), count_matches(s, t))
+        assert mpc_lcs_length(cluster, s, t).length == lcs_length_dp(s, t)
+
+    def test_insufficient_total_space_raises(self):
+        s, t = random_string_pair(80, 2, seed=5)  # dense matches
+        small = MPCCluster(160, delta=0.5, num_machines=2, space_per_machine=64)
+        with pytest.raises(SpaceExceededError):
+            mpc_lcs_length(small, s, t)
+
+    def test_empty_match_set(self):
+        cluster = lcs_cluster_for(3, 3, 0)
+        assert mpc_lcs_length(cluster, "abc", "xyz").length == 0
+
+
+class TestSemiLocalLCS:
+    def test_all_subsegments_small(self):
+        s, t = random_string_pair(16, 4, seed=6)
+        oracle = lcs_of_all_suffixes(s, t)
+        sl = semilocal_lcs(s, t)
+        for i in range(len(t) + 1):
+            for j in range(i, len(t) + 1):
+                assert sl.query(i, j) == oracle[i, j], (i, j)
+        assert sl.lcs_length() == lcs_length_dp(s, t)
+
+    def test_mpc_variant_matches_sequential(self):
+        s, t = random_string_pair(20, 4, seed=7)
+        cluster = lcs_cluster_for(len(s), len(t), count_matches(s, t))
+        sl_mpc = mpc_semilocal_lcs(cluster, s, t)
+        sl_seq = semilocal_lcs(s, t)
+        for i in range(0, len(t) + 1, 3):
+            for j in range(i, len(t) + 1, 4):
+                assert sl_mpc.query(i, j) == sl_seq.query(i, j)
+
+    def test_invalid_query(self):
+        sl = semilocal_lcs("ab", "ba")
+        with pytest.raises(ValueError):
+            sl.query(2, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    s=st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=18),
+    t=st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=18),
+)
+def test_lcs_reduction_property(s, t):
+    """Property: Hunt–Szymanski + strict LIS equals the LCS DP."""
+    assert lcs_length_via_lis(s, t) == lcs_length_dp(s, t)

@@ -1,0 +1,137 @@
+"""Tests for the MPC LIS algorithms (Theorem 1.3, Corollary 1.3.2, approx baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lis import (
+    lis_length,
+    mpc_lis_approx,
+    mpc_lis_length,
+    mpc_lis_matrix,
+    mpc_semilocal_lis,
+)
+from repro.lis.dp_baseline import lis_of_all_substrings
+from repro.mpc import MPCCluster
+from repro.mpc_monge import MongeMPCConfig
+from repro.workloads import (
+    block_sorted_sequence,
+    decreasing_sequence,
+    duplicate_heavy_sequence,
+    planted_lis_sequence,
+    random_permutation_sequence,
+)
+
+
+class TestMPCLIS:
+    def test_matches_patience_on_workloads(self):
+        workloads = [
+            random_permutation_sequence(300, seed=1),
+            planted_lis_sequence(250, 90, seed=2),
+            block_sorted_sequence(200, 8, seed=3),
+            decreasing_sequence(120),
+            duplicate_heavy_sequence(220, 11, seed=4),
+            np.arange(100),
+        ]
+        for seq in workloads:
+            cluster = MPCCluster(len(seq), delta=0.5)
+            assert mpc_lis_length(cluster, seq) == lis_length(seq)
+
+    def test_empty_and_singleton(self):
+        cluster = MPCCluster(1, delta=0.5)
+        assert mpc_lis_length(cluster, []) == 0
+        cluster = MPCCluster(1, delta=0.5)
+        assert mpc_lis_length(cluster, [42]) == 1
+
+    def test_various_deltas(self):
+        seq = random_permutation_sequence(400, seed=5)
+        expected = lis_length(seq)
+        for delta in (0.3, 0.5, 0.7):
+            cluster = MPCCluster(len(seq), delta=delta)
+            assert mpc_lis_length(cluster, seq) == expected
+
+    def test_round_complexity_is_logarithmic(self):
+        rounds = []
+        for n in (256, 4096):
+            seq = random_permutation_sequence(n, seed=n)
+            cluster = MPCCluster(n, delta=0.5)
+            mpc_lis_length(cluster, seq)
+            rounds.append(cluster.stats.num_rounds)
+        # 16x the input should cost only a few more merge levels, not 16x rounds.
+        assert rounds[1] < 6 * rounds[0]
+
+    def test_space_budget_respected(self):
+        seq = random_permutation_sequence(2000, seed=6)
+        cluster = MPCCluster(2000, delta=0.5)
+        mpc_lis_length(cluster, seq)
+        assert cluster.stats.peak_machine_load <= cluster.space_per_machine
+
+    def test_result_object(self):
+        seq = random_permutation_sequence(150, seed=7)
+        cluster = MPCCluster(150, delta=0.5)
+        result = mpc_lis_matrix(cluster, seq)
+        assert result.length == lis_length(seq)
+        assert result.num_blocks >= 1
+        assert result.semilocal.lis_length() == result.length
+
+    def test_invalid_kind(self):
+        cluster = MPCCluster(10, delta=0.5)
+        with pytest.raises(ValueError):
+            mpc_lis_matrix(cluster, [1, 2, 3], kind="bogus")
+
+
+class TestMPCSemiLocalLIS:
+    def test_subsegment_queries(self):
+        seq = random_permutation_sequence(70, seed=8)
+        cluster = MPCCluster(70, delta=0.5)
+        result = mpc_semilocal_lis(cluster, seq)
+        oracle = lis_of_all_substrings(seq)
+        for i in range(0, 71, 6):
+            for j in range(i, 71, 7):
+                assert result.semilocal.query_substring(i, j) == oracle[i, j]
+
+
+class TestApproxLIS:
+    def test_never_exceeds_exact(self):
+        for seed in range(5):
+            seq = random_permutation_sequence(300, seed=seed)
+            cluster = MPCCluster(300, delta=0.5)
+            result = mpc_lis_approx(cluster, seq, epsilon=0.1)
+            assert result.length <= lis_length(seq)
+
+    def test_approximation_ratio(self):
+        for seed in (1, 2, 3):
+            seq = random_permutation_sequence(800, seed=seed)
+            cluster = MPCCluster(800, delta=0.5)
+            result = mpc_lis_approx(cluster, seq, epsilon=0.1)
+            exact = lis_length(seq)
+            assert result.length >= exact / 1.25
+
+    def test_sorted_input_is_nearly_exact(self):
+        seq = np.arange(500)
+        cluster = MPCCluster(500, delta=0.5)
+        # Grid rounding may cost a constant number of elements at the boundary.
+        assert mpc_lis_approx(cluster, seq, epsilon=0.1).length >= 495
+
+    def test_rounds_are_logarithmic(self):
+        seq = random_permutation_sequence(2000, seed=4)
+        cluster = MPCCluster(2000, delta=0.5)
+        result = mpc_lis_approx(cluster, seq, epsilon=0.2)
+        assert cluster.stats.num_rounds <= 40
+        assert result.merge_levels <= 14
+
+    def test_invalid_epsilon(self):
+        cluster = MPCCluster(10, delta=0.5)
+        with pytest.raises(ValueError):
+            mpc_lis_approx(cluster, [1, 2], epsilon=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=120),
+    delta=st.sampled_from([0.4, 0.5, 0.6]),
+)
+def test_mpc_lis_matches_patience_property(seq, delta):
+    """Property: the MPC LIS equals patience sorting for arbitrary inputs."""
+    cluster = MPCCluster(len(seq), delta=delta)
+    assert mpc_lis_length(cluster, seq) == lis_length(seq)

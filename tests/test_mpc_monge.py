@@ -1,0 +1,157 @@
+"""Tests for the MPC (sub)unit-Monge multiplication (Theorems 1.1 and 1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    multiply,
+    multiply_permutations,
+    random_permutation,
+    random_subpermutation,
+)
+from repro.mpc import MPCCluster, SpaceExceededError
+from repro.mpc_monge import (
+    MongeMPCConfig,
+    default_fanin,
+    grid_corners,
+    mpc_multiply,
+    mpc_multiply_subpermutation,
+    mpc_multiply_warmup,
+    paper_fanin,
+    paper_grid_size,
+)
+from repro.mpc_monge.constant_round import mpc_combine
+from repro.core.seaweed import expand_block_results, split_into_blocks
+from repro.core.dense import multiply_dense
+
+
+class TestParameters:
+    def test_paper_formulas(self):
+        assert paper_fanin(2 ** 20, 0.5) >= 2
+        assert paper_grid_size(10_000, 0.5) == 100
+        assert default_fanin(10_000, 0.5) >= paper_fanin(10_000, 0.5)
+
+    def test_grid_corners(self):
+        corners = grid_corners(10, 3)
+        assert corners[0] == 0 and corners[-1] == 10
+        assert np.all(np.diff(corners) > 0)
+        assert list(grid_corners(4, 10)) == [0, 4]
+
+
+class TestMPCMultiplyCorrectness:
+    def test_matches_sequential(self, rng):
+        for n in (8, 40, 150, 400):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            cluster = MPCCluster(n, delta=0.5)
+            assert mpc_multiply(cluster, pa, pb) == multiply_permutations(pa, pb)
+
+    def test_warmup_matches_sequential(self, rng):
+        for n in (30, 200):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            cluster = MPCCluster(n, delta=0.5)
+            assert mpc_multiply_warmup(cluster, pa, pb) == multiply_permutations(pa, pb)
+
+    def test_forced_deep_recursion(self, rng):
+        config = MongeMPCConfig(fanin=3, local_threshold=8, grid_size=4)
+        for n in (40, 120):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            cluster = MPCCluster(n, delta=0.5)
+            assert mpc_multiply(cluster, pa, pb, config) == multiply_permutations(pa, pb)
+
+    def test_various_deltas(self, rng):
+        n = 220
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        expected = multiply_permutations(pa, pb)
+        for delta in (0.3, 0.5, 0.7):
+            cluster = MPCCluster(n, delta=delta)
+            assert mpc_multiply(cluster, pa, pb) == expected
+
+    def test_size_mismatch(self, rng):
+        cluster = MPCCluster(10, delta=0.5)
+        with pytest.raises(ValueError):
+            mpc_multiply(cluster, random_permutation(4, rng), random_permutation(5, rng))
+
+
+class TestMPCSubpermutation:
+    def test_matches_sequential_general(self, rng):
+        for _ in range(10):
+            n1, n2, n3 = rng.integers(2, 60, size=3)
+            pa = random_subpermutation(int(n1), int(n2), int(rng.integers(0, min(n1, n2) + 1)), rng)
+            pb = random_subpermutation(int(n2), int(n3), int(rng.integers(0, min(n2, n3) + 1)), rng)
+            cluster = MPCCluster(int(max(n1, n2, n3)), delta=0.5)
+            assert mpc_multiply_subpermutation(cluster, pa, pb) == multiply(pa, pb)
+
+    def test_full_permutation_shortcut(self, rng):
+        pa, pb = random_permutation(30, rng), random_permutation(30, rng)
+        cluster = MPCCluster(30, delta=0.5)
+        assert mpc_multiply_subpermutation(cluster, pa, pb) == multiply_permutations(pa, pb)
+
+
+class TestRoundAccounting:
+    def test_constant_fanin_uses_fewer_rounds_than_warmup(self, rng):
+        n = 4096
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        main = MPCCluster(n, delta=0.5)
+        mpc_multiply(main, pa, pb, MongeMPCConfig(fanin=8, tree_arity=8))
+        warm = MPCCluster(n, delta=0.5)
+        mpc_multiply_warmup(warm, pa, pb)
+        assert main.stats.num_rounds < warm.stats.num_rounds
+
+    def test_space_budget_respected(self, rng):
+        n = 2048
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        cluster = MPCCluster(n, delta=0.5)
+        mpc_multiply(cluster, pa, pb)
+        assert cluster.stats.peak_machine_load <= cluster.space_per_machine
+
+    def test_rounds_grow_slowly_with_n(self, rng):
+        rounds = []
+        for n in (512, 4096):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            cluster = MPCCluster(n, delta=0.5)
+            mpc_multiply(cluster, pa, pb)
+            rounds.append(cluster.stats.num_rounds)
+        # 8x the input size should cost far less than 8x the rounds.
+        assert rounds[1] < rounds[0] * 3
+
+    def test_communication_recorded(self, rng):
+        n = 256
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        cluster = MPCCluster(n, delta=0.5)
+        mpc_multiply(cluster, pa, pb)
+        assert cluster.stats.total_communication > 0
+        assert cluster.stats.max_round_communication > 0
+
+
+class TestMPCCombine:
+    def test_combine_report(self, rng):
+        n = 128
+        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+        split = split_into_blocks(pa, pb, 4)
+        subresults = [
+            multiply_dense(a, b).as_permutation()
+            for a, b in zip(split.a_blocks, split.b_blocks)
+        ]
+        rows, cols, colors = expand_block_results(subresults, split)
+        cluster = MPCCluster(n, delta=0.5)
+        merged, report = mpc_combine(cluster, rows, cols, colors, 4, n, MongeMPCConfig(grid_size=16))
+        assert merged.as_permutation() == multiply_permutations(pa, pb)
+        assert report.num_colors == 4
+        assert report.num_active_subgrids <= report.num_subgrids
+        assert report.max_instance_words <= cluster.space_per_machine
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=120),
+    fanin=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_mpc_multiply_matches_sequential_property(n, fanin, seed):
+    """Property: the MPC algorithm agrees with the sequential product."""
+    rng = np.random.default_rng(seed)
+    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+    cluster = MPCCluster(n, delta=0.5)
+    config = MongeMPCConfig(fanin=fanin, local_threshold=max(8, n // 8))
+    assert mpc_multiply(cluster, pa, pb, config) == multiply_permutations(pa, pb)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.permutation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EMPTY,
+    Permutation,
+    SubPermutation,
+    identity_permutation,
+    random_permutation,
+    random_subpermutation,
+)
+
+
+class TestSubPermutation:
+    def test_basic_properties(self):
+        sp = SubPermutation([2, EMPTY, 0], n_cols=4)
+        assert sp.shape == (3, 4)
+        assert sp.num_nonzeros == 2
+        assert list(sp.nonzero_rows()) == [0, 2]
+        assert list(sp.nonzero_cols()) == [0, 2]
+        assert not sp.is_full_permutation()
+
+    def test_points_roundtrip(self):
+        sp = SubPermutation.from_points([0, 3], [1, 2], n_rows=5, n_cols=4)
+        rows, cols = sp.points()
+        assert list(rows) == [0, 3]
+        assert list(cols) == [1, 2]
+
+    def test_to_dense(self):
+        sp = SubPermutation([1, EMPTY], n_cols=2)
+        dense = sp.to_dense()
+        assert dense.tolist() == [[0, 1], [0, 0]]
+
+    def test_validation_duplicate_column(self):
+        with pytest.raises(ValueError):
+            SubPermutation([1, 1], n_cols=3)
+
+    def test_validation_out_of_range(self):
+        with pytest.raises(ValueError):
+            SubPermutation([5], n_cols=3)
+
+    def test_transpose(self):
+        sp = SubPermutation([2, EMPTY, 0], n_cols=3)
+        tr = sp.transpose()
+        assert tr.shape == (3, 3)
+        assert np.array_equal(tr.to_dense(), sp.to_dense().T)
+
+    def test_distribution_matrix_convention(self):
+        # Single point at (row=1, col=2) in a 3x3 matrix.
+        sp = SubPermutation.from_points([1], [2], n_rows=3, n_cols=3)
+        dist = sp.distribution_matrix()
+        # dist(i, j) = #points with row >= i and col < j.
+        for i in range(4):
+            for j in range(4):
+                expected = 1 if (i <= 1 and j >= 3) else 0
+                assert dist[i, j] == expected
+                assert sp.distribution_at(i, j) == expected
+
+    def test_empty(self):
+        sp = SubPermutation.empty(4, 6)
+        assert sp.num_nonzeros == 0
+        assert sp.shape == (4, 6)
+
+    def test_equality_and_hash(self):
+        a = SubPermutation([1, 0], n_cols=2)
+        b = SubPermutation([1, 0], n_cols=2)
+        c = SubPermutation([0, 1], n_cols=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_as_permutation_raises_when_not_full(self):
+        with pytest.raises(ValueError):
+            SubPermutation([EMPTY, 0], n_cols=2).as_permutation()
+
+
+class TestPermutation:
+    def test_identity(self):
+        p = identity_permutation(5)
+        assert p.is_full_permutation()
+        assert list(p.row_to_col) == list(range(5))
+
+    def test_inverse(self):
+        p = Permutation([2, 0, 1])
+        inv = p.inverse()
+        assert list(inv.row_to_col) == [1, 2, 0]
+        assert p.compose(inv) == identity_permutation(3)
+
+    def test_inverse_equals_transpose(self, rng):
+        p = random_permutation(17, rng)
+        assert p.inverse() == p.transpose()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([0, 3, 1])
+
+    def test_random_permutation_is_valid(self, rng):
+        for _ in range(5):
+            p = random_permutation(int(rng.integers(1, 50)), rng)
+            p.validate()
+            assert p.is_full_permutation()
+
+    def test_random_subpermutation_counts(self, rng):
+        sp = random_subpermutation(10, 8, 5, rng)
+        assert sp.num_nonzeros == 5
+        sp.validate()
+
+    def test_random_subpermutation_too_many_points(self, rng):
+        with pytest.raises(ValueError):
+            random_subpermutation(4, 3, 5, rng)
+
+    def test_distribution_counts_total(self, rng):
+        p = random_permutation(12, rng)
+        dist = p.distribution_matrix()
+        assert dist[0, 12] == 12
+        assert dist[12, :].sum() == 0
+        assert dist[:, 0].sum() == 0

@@ -1,0 +1,88 @@
+"""Tests for workload generators and the analysis/report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TABLE1_PROFILES,
+    format_series,
+    format_summary,
+    format_table,
+    predicted_rounds,
+    recursion_depth,
+)
+from repro.lis import lis_length
+from repro.workloads import (
+    block_sorted_sequence,
+    correlated_string_pair,
+    decreasing_sequence,
+    duplicate_heavy_sequence,
+    near_sorted_sequence,
+    planted_lis_sequence,
+    random_permutation_sequence,
+    random_string_pair,
+)
+
+
+class TestGenerators:
+    def test_random_permutation_sequence(self):
+        seq = random_permutation_sequence(100, seed=1)
+        assert sorted(seq.tolist()) == list(range(100))
+        assert np.array_equal(seq, random_permutation_sequence(100, seed=1))
+
+    def test_planted_lis(self):
+        seq = planted_lis_sequence(200, 120, seed=2)
+        assert sorted(seq.tolist()) == list(range(200))
+        assert lis_length(seq) >= 120
+
+    def test_planted_lis_invalid(self):
+        with pytest.raises(ValueError):
+            planted_lis_sequence(10, 20)
+
+    def test_block_sorted(self):
+        seq = block_sorted_sequence(60, 6, seed=3)
+        assert lis_length(seq) == 6
+
+    def test_decreasing(self):
+        assert lis_length(decreasing_sequence(50)) == 1
+
+    def test_near_sorted(self):
+        seq = near_sorted_sequence(100, swaps=5, seed=4)
+        assert lis_length(seq) >= 90
+
+    def test_duplicate_heavy(self):
+        seq = duplicate_heavy_sequence(100, 5, seed=5)
+        assert len(np.unique(seq)) <= 5
+
+    def test_string_pairs(self):
+        s, t = random_string_pair(50, 4, seed=6)
+        assert len(s) == len(t) == 50
+        s2, t2 = correlated_string_pair(50, 4, 0.1, seed=7)
+        assert (s2 == t2).mean() > 0.7
+
+
+class TestAnalysis:
+    def test_table1_profiles_complete(self):
+        assert set(TABLE1_PROFILES) == {"kt10", "ims17_logn", "ims17_const", "chs23", "this_paper"}
+        for profile in TABLE1_PROFILES.values():
+            assert profile.rounds(1024, 0.5) >= 1.0
+
+    def test_predicted_rounds_ordering(self):
+        n = 1 << 16
+        assert predicted_rounds("this_paper", n, 0.5) < predicted_rounds("kt10", n, 0.5)
+        assert predicted_rounds("kt10", n, 0.5) < predicted_rounds("chs23", n, 0.5)
+
+    def test_recursion_depth(self):
+        assert recursion_depth(1024, fanin=2, local_threshold=64) == 4
+        assert recursion_depth(1024, fanin=32, local_threshold=64) == 1
+        assert recursion_depth(10, fanin=2, local_threshold=64) == 0
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_series_and_summary(self):
+        assert "(1, 2)" in format_series("x", [1], [2])
+        assert "rounds" in format_summary({"rounds": 3})
