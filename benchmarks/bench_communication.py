@@ -1,47 +1,18 @@
-"""E7 — Communication volume per round of the MPC algorithms."""
+"""E7 — Communication volume per round of the MPC algorithms.
 
-import pytest
+Thin pytest wrapper over the registered ``communication`` experiment spec.
+"""
 
-from repro.analysis import format_table
-from repro.core import random_permutation
-from repro.lis import mpc_lis_length
-from repro.mpc import MPCCluster
-from repro.mpc_monge import mpc_multiply
-from repro.workloads import random_permutation_sequence
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-SIZES = (1024, 4096, 16384)
-DELTA = 0.5
+SPEC = "communication"
 
 
-def test_communication_volume(benchmark, rng):
-    rows = []
-    for n in SIZES:
-        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
-        mult = MPCCluster(n, delta=DELTA)
-        mpc_multiply(mult, pa, pb)
-        seq = random_permutation_sequence(n, seed=n)
-        lis = MPCCluster(n, delta=DELTA)
-        mpc_lis_length(lis, seq)
-        rows.append(
-            [
-                n,
-                mult.stats.total_communication,
-                mult.stats.max_round_communication,
-                f"{mult.stats.total_communication / n:.1f}",
-                lis.stats.total_communication,
-                f"{lis.stats.total_communication / n:.1f}",
-            ]
-        )
-    emit(
-        "Total communication (words) — multiply and LIS",
-        format_table(
-            ["n", "multiply total", "multiply max/round", "multiply words/elem",
-             "LIS total", "LIS words/elem"],
-            rows,
-        ),
-    )
-    n = SIZES[0]
-    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
-    benchmark(lambda: mpc_multiply(MPCCluster(n, delta=DELTA), pa, pb))
+def test_communication_volume(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit("Total communication (words) — multiply and LIS", result.to_table())
+
+    benchmark(spec.timer())

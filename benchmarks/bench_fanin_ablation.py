@@ -1,48 +1,25 @@
 """E8 — Ablation: fan-in H of the multiway combine (the paper's core trick).
 
-Sweeps the number of subproblems merged per level.  Larger H means a shallower
+Thin pytest wrapper over the registered ``fanin_ablation`` experiment spec.
+Sweeps the number of subproblems merged per level: larger H means a shallower
 recursion (fewer rounds) at the cost of more per-level search state — exactly
-the trade-off the paper navigates with H = n^{(1-δ)/10}.
+the trade-off the paper navigates with H = n^{(1-δ)/10}.  The product
+correctness and rounds-monotonicity assertions live in the spec.
 """
 
-import pytest
-
-from repro.analysis import format_table
-from repro.core import multiply_permutations, random_permutation
-from repro.mpc import MPCCluster
-from repro.mpc_monge import MongeMPCConfig, mpc_multiply
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-N = 8192
-DELTA = 0.5
-FANINS = (2, 4, 8, 16)
+SPEC = "fanin_ablation"
 
 
-def test_fanin_ablation(benchmark, rng):
-    pa, pb = random_permutation(N, rng), random_permutation(N, rng)
-    expected = multiply_permutations(pa, pb)
-    rows = []
-    rounds_by_fanin = {}
-    for fanin in FANINS:
-        cluster = MPCCluster(N, delta=DELTA)
-        config = MongeMPCConfig(fanin=fanin, tree_arity=fanin)
-        assert mpc_multiply(cluster, pa, pb, config) == expected
-        rounds_by_fanin[fanin] = cluster.stats.num_rounds
-        rows.append(
-            [
-                fanin,
-                cluster.stats.num_rounds,
-                cluster.stats.peak_machine_load,
-                cluster.stats.total_communication,
-            ]
-        )
+def test_fanin_ablation(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
     emit(
-        f"Fan-in ablation (n={N}, delta={DELTA})",
-        format_table(["fan-in H", "rounds", "peak load", "total communication"], rows),
+        f"Fan-in ablation (n={result.fixed['n']}, delta={result.fixed['delta']})",
+        result.to_table(),
     )
-    # Larger fan-in must not use more rounds than the binary warm-up.
-    assert rounds_by_fanin[FANINS[-1]] <= rounds_by_fanin[2]
 
-    config = MongeMPCConfig(fanin=8, tree_arity=8)
-    benchmark(lambda: mpc_multiply(MPCCluster(N, delta=DELTA), pa, pb, config))
+    benchmark(spec.timer())

@@ -1,48 +1,19 @@
-"""E6 — Corollary 1.3.1: LCS rounds and total space via Hunt–Szymanski."""
+"""E6 — Corollary 1.3.1: LCS rounds and total space via Hunt–Szymanski.
 
-import pytest
+Thin pytest wrapper over the registered ``lcs`` experiment spec; the
+exactness assertion (MPC LCS == DP LCS) lives in the spec's point function.
+"""
 
-from repro.analysis import format_table
-from repro.lcs import count_matches, lcs_cluster_for, lcs_length_dp, mpc_lcs_length
-from repro.workloads import correlated_string_pair, random_string_pair
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-CASES = [
-    ("random, alphabet 16", 256, 16, None),
-    ("random, alphabet 4", 256, 4, None),
-    ("correlated (10% mutation)", 256, 16, 0.1),
-]
+SPEC = "lcs"
 
 
 def test_lcs_rounds_and_space(benchmark):
-    rows = []
-    for name, n, alphabet, mutation in CASES:
-        if mutation is None:
-            s, t = random_string_pair(n, alphabet, seed=n + alphabet)
-        else:
-            s, t = correlated_string_pair(n, alphabet, mutation, seed=n)
-        matches = count_matches(s, t)
-        cluster = lcs_cluster_for(len(s), len(t), matches)
-        result = mpc_lcs_length(cluster, s, t)
-        assert result.length == lcs_length_dp(s, t)
-        rows.append(
-            [
-                name,
-                matches,
-                cluster.num_machines,
-                cluster.space_per_machine,
-                cluster.stats.num_rounds,
-                result.length,
-            ]
-        )
-    emit(
-        "LCS via Hunt-Szymanski (Corollary 1.3.1)",
-        format_table(
-            ["workload", "matches", "machines", "space s", "rounds", "LCS"], rows
-        ),
-    )
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit("LCS via Hunt-Szymanski (Corollary 1.3.1)", result.to_table())
 
-    s, t = random_string_pair(256, 16, seed=3)
-    cluster = lcs_cluster_for(256, 256, count_matches(s, t))
-    benchmark(lambda: mpc_lcs_length(lcs_cluster_for(256, 256, count_matches(s, t)), s, t))
+    benchmark(spec.timer())

@@ -1,46 +1,34 @@
-"""E4 — Theorem 1.3: LIS rounds vs n for this paper and the baselines."""
+"""E4 — Theorem 1.3: LIS rounds vs n for this paper and the baselines.
+
+Thin pytest wrapper over the registered ``lis_rounds`` experiment spec; the
+exactness and rounds-vs-CHS23 assertions live in the spec, so the CLI
+enforces them too.
+"""
 
 import pytest
 
-from repro.analysis import format_series, format_table
-from repro.baselines import chs23_lis_length
-from repro.lis import lis_length, mpc_lis_length
-from repro.mpc import MPCCluster
-from repro.workloads import planted_lis_sequence, random_permutation_sequence
+from repro.analysis import format_series
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-SIZES = (512, 2048, 8192)
-DELTA = 0.5
+SPEC = "lis_rounds"
 
 
 @pytest.mark.parametrize("workload", ["random", "planted"])
 def test_lis_round_growth(benchmark, workload):
-    rows = []
-    ours_series, chs_series = [], []
-    for n in SIZES:
-        if workload == "random":
-            seq = random_permutation_sequence(n, seed=n)
-        else:
-            seq = planted_lis_sequence(n, n // 3, seed=n)
-        expected = lis_length(seq)
-        ours = MPCCluster(n, delta=DELTA)
-        assert mpc_lis_length(ours, seq) == expected
-        chs = MPCCluster(n, delta=DELTA)
-        assert chs23_lis_length(chs, seq) == expected
-        rows.append([n, expected, ours.stats.num_rounds, chs.stats.num_rounds])
-        ours_series.append(ours.stats.num_rounds)
-        chs_series.append(chs.stats.num_rounds)
-    emit(
-        f"Exact LIS rounds vs n ({workload} workload, delta={DELTA})",
-        format_table(["n", "LIS", "this paper (rounds)", "CHS23-style (rounds)"], rows)
-        + "\n"
-        + format_series("this paper", SIZES, ours_series)
-        + "\n"
-        + format_series("CHS23-style", SIZES, chs_series),
-    )
-    assert all(o < c for o, c in zip(ours_series, chs_series))
+    spec = get_spec(SPEC)
+    result = run_experiment(spec, overrides={"workload": [workload]})
 
-    n = SIZES[0]
-    seq = random_permutation_sequence(n, seed=n)
-    benchmark(lambda: mpc_lis_length(MPCCluster(n, delta=DELTA), seq))
+    sizes, ours = result.series("n", "rounds")
+    _, chs = result.series("n", "rounds_chs23")
+    emit(
+        f"Exact LIS rounds vs n ({workload} workload, delta={result.fixed['delta']})",
+        result.to_table()
+        + "\n"
+        + format_series("this paper", sizes, ours)
+        + "\n"
+        + format_series("CHS23-style", sizes, chs),
+    )
+
+    benchmark(spec.timer())

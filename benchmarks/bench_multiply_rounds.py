@@ -1,56 +1,36 @@
 """E2 — Theorem 1.1: rounds of the O(1)-round multiplication vs the warm-up.
 
-Reproduces the central claim: the constant-round algorithm's round count stays
-(essentially) flat as n grows, while the fan-in-2 warm-up grows like log n and
-the CHS23-style combine grows polylogarithmically.
+Thin pytest wrapper over the registered ``multiply_rounds`` experiment spec:
+the constant-round algorithm's round count stays (essentially) flat as n
+grows, while the fan-in-2 warm-up grows like log n and the CHS23-style
+combine grows polylogarithmically.  The growth-shape assertion lives in the
+spec's cross-point checks, so the CLI enforces it too.
 """
 
-import pytest
-
-from repro.analysis import format_series, format_table
-from repro.baselines import chs23_multiply
-from repro.core import random_permutation
-from repro.mpc import MPCCluster
-from repro.mpc_monge import mpc_multiply, mpc_multiply_warmup
+from repro.analysis import format_series
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-SIZES = (1024, 4096, 16384, 65536)
-DELTA = 0.5
+SPEC = "multiply_rounds"
 
 
-def test_multiply_round_growth(benchmark, rng):
-    rows = []
-    series = {"this paper": [], "warm-up (fanin 2)": [], "CHS23-style": []}
-    for n in SIZES:
-        pa, pb = random_permutation(n, rng), random_permutation(n, rng)
-        main = MPCCluster(n, delta=DELTA)
-        mpc_multiply(main, pa, pb)
-        warm = MPCCluster(n, delta=DELTA)
-        mpc_multiply_warmup(warm, pa, pb)
-        chs = MPCCluster(n, delta=DELTA)
-        chs23_multiply(chs, pa, pb)
-        rows.append(
-            [n, main.stats.num_rounds, warm.stats.num_rounds, chs.stats.num_rounds,
-             main.stats.peak_machine_load, main.space_per_machine]
+def test_multiply_round_growth(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+
+    series_lines = []
+    for algorithm in result.grid["algorithm"]:
+        rows = sorted(
+            (p.row() for p in result.points if p.params["algorithm"] == algorithm),
+            key=lambda row: row["n"],
         )
-        series["this paper"].append(main.stats.num_rounds)
-        series["warm-up (fanin 2)"].append(warm.stats.num_rounds)
-        series["CHS23-style"].append(chs.stats.num_rounds)
-
+        series_lines.append(
+            format_series(rows[0]["label"], [row["n"] for row in rows], [row["rounds"] for row in rows])
+        )
     emit(
-        "Multiplication rounds vs n (delta=0.5)",
-        format_table(
-            ["n", "this paper", "warm-up", "CHS23-style", "peak load", "space budget"], rows
-        )
-        + "\n"
-        + "\n".join(format_series(k, SIZES, v) for k, v in series.items()),
+        f"Multiplication rounds vs n (delta={result.fixed['delta']})",
+        result.to_table() + "\n" + "\n".join(series_lines),
     )
-    # Shape check: the constant-round algorithm grows far slower than the warm-up.
-    growth_main = series["this paper"][-1] / series["this paper"][0]
-    growth_warm = series["warm-up (fanin 2)"][-1] / series["warm-up (fanin 2)"][0]
-    assert growth_main < growth_warm
 
-    n = SIZES[1]
-    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
-    benchmark(lambda: mpc_multiply(MPCCluster(n, delta=DELTA), pa, pb))
+    benchmark(spec.timer())

@@ -4,37 +4,49 @@ Not a table/figure of the paper (which has no sequential experiments) but a
 sanity check that the Tiskin-framework substrate scales near-linearly; the
 patience-sorting baseline is faster for the plain LIS length (it computes far
 less: no semi-local structure), which is the expected trade-off.
+
+The correctness suite is the registered ``sequential`` experiment spec; the
+pytest-benchmark timings below reuse the spec's case kernels
+(:func:`repro.experiments.specs.sequential_case_callable`) so both share one
+code path.
 """
 
 import pytest
 
-from repro.core import multiply_permutations, random_permutation
-from repro.lis import lis_length, lis_length_seaweed, value_interval_matrix
-from repro.workloads import random_permutation_sequence
+from repro.experiments import get_spec, run_experiment
+from repro.experiments.specs import sequential_case_callable
+from repro.lis import lis_length
+from repro.workloads import make_sequence
+
+from conftest import emit
+
+SPEC = "sequential"
+
+
+def test_sequential_suite():
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit("Sequential substrate wall-clock", result.to_table())
 
 
 @pytest.mark.parametrize("n", [2048, 8192])
-def test_sequential_multiply(benchmark, rng, n):
-    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
-    result = benchmark(lambda: multiply_permutations(pa, pb))
+def test_sequential_multiply(benchmark, n):
+    result = benchmark(sequential_case_callable("multiply", n))
     assert result.size == n
 
 
 @pytest.mark.parametrize("n", [1024, 4096])
 def test_sequential_seaweed_lis(benchmark, n):
-    seq = random_permutation_sequence(n, seed=n)
-    expected = lis_length(seq)
-    result = benchmark(lambda: lis_length_seaweed(seq))
+    expected = lis_length(make_sequence("random", n, seed=n))
+    result = benchmark(sequential_case_callable("seaweed_lis", n))
     assert result == expected
 
 
 @pytest.mark.parametrize("n", [4096, 65536])
 def test_patience_baseline(benchmark, n):
-    seq = random_permutation_sequence(n, seed=n)
-    benchmark(lambda: lis_length(seq))
+    benchmark(sequential_case_callable("patience", n))
 
 
 def test_semilocal_matrix_construction(benchmark):
-    seq = random_permutation_sequence(2048, seed=7)
-    result = benchmark(lambda: value_interval_matrix(seq))
-    assert result.lis_length() == lis_length(seq)
+    result = benchmark(sequential_case_callable("semilocal_matrix", 2048))
+    assert result.lis_length() == lis_length(make_sequence("random", 2048, seed=7))

@@ -1,67 +1,25 @@
 """E9 — Ablation: grid spacing G and the subgrid-instance space overhead.
 
+Thin pytest wrapper over the registered ``space_overhead`` experiment spec.
 The paper's §3.3 refinement brings the total size of the subgrid instances
 down to O(n); this implementation keeps the simpler O(G + H)-per-instance
-packaging (see DESIGN.md §2).  The bench measures the actual per-instance and
-total instance sizes so the overhead is visible and bounded.
+packaging (see DESIGN.md §2), and the spec measures the actual per-instance
+and total instance sizes so the overhead is visible and bounded.
 """
 
-import numpy as np
-import pytest
-
-from repro.analysis import format_table
-from repro.core import multiply_permutations, random_permutation
-from repro.core.dense import multiply_dense
-from repro.core.seaweed import expand_block_results, split_into_blocks
-from repro.mpc import MPCCluster
-from repro.mpc_monge import MongeMPCConfig
-from repro.mpc_monge.constant_round import mpc_combine
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-N = 4096
-DELTA = 0.5
-GRID_SIZES = (16, 32, 64, 128)
+SPEC = "space_overhead"
 
 
-def test_grid_size_ablation(benchmark, rng):
-    pa, pb = random_permutation(N, rng), random_permutation(N, rng)
-    expected = multiply_permutations(pa, pb)
-    split = split_into_blocks(pa, pb, 4)
-    results = [
-        multiply_permutations(a, b) for a, b in zip(split.a_blocks, split.b_blocks)
-    ]
-    rows_, cols_, colors_ = expand_block_results(results, split)
-
-    table = []
-    for grid in GRID_SIZES:
-        cluster = MPCCluster(N, delta=DELTA)
-        merged, report = mpc_combine(
-            cluster, rows_, cols_, colors_, 4, N, MongeMPCConfig(grid_size=grid)
-        )
-        assert merged.as_permutation() == expected
-        table.append(
-            [
-                grid,
-                report.num_grid_lines,
-                report.num_active_subgrids,
-                report.max_instance_words,
-                cluster.space_per_machine,
-                cluster.stats.num_rounds,
-            ]
-        )
+def test_grid_size_ablation(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
     emit(
-        f"Grid-size / space-overhead ablation (n={N}, H=4)",
-        format_table(
-            ["grid G", "grid lines", "active subgrids", "max instance words",
-             "space budget s", "combine rounds"],
-            table,
-        ),
+        f"Grid-size / space-overhead ablation (n={result.fixed['n']}, H={result.fixed['num_blocks']})",
+        result.to_table(),
     )
 
-    benchmark(
-        lambda: mpc_combine(
-            MPCCluster(N, delta=DELTA), rows_, cols_, colors_, 4, N,
-            MongeMPCConfig(grid_size=64),
-        )
-    )
+    benchmark(spec.timer())

@@ -1,55 +1,24 @@
 """E1 — Reproduction of Table 1: massively parallel LIS algorithms.
 
-For each algorithm row of Table 1 the bench measures, in the MPC simulator:
-the number of rounds, the scalability regime (whether the algorithm admits the
-requested δ), and whether the answer is exact — i.e. the three columns of the
-paper's table — on the same workload.
+Thin pytest wrapper over the registered ``table1`` experiment spec
+(:mod:`repro.experiments.specs`): for each algorithm row of Table 1 the spec
+measures rounds, the scalability regime and exactness in the MPC simulator.
+``python -m repro run table1`` executes the identical code path.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import format_table
-from repro.baselines import chs23_lis_length, kt10_lis_length
-from repro.lis import lis_length, mpc_lis_approx, mpc_lis_length
-from repro.mpc import MPCCluster, ScalabilityError
-from repro.workloads import random_permutation_sequence
+from repro.experiments import get_spec, run_experiment
 
 from conftest import emit
 
-N = 4096
-DELTAS = (0.25, 0.5)
+SPEC = "table1"
 
 
-def _run_row(name, fn, seq, delta, exact_reference):
-    try:
-        cluster = MPCCluster(len(seq), delta=delta)
-        value = fn(cluster, seq)
-        rounds = cluster.stats.num_rounds
-        scalable = "yes"
-        exact = "exact" if value == exact_reference else f"approx ({value}/{exact_reference})"
-    except ScalabilityError:
-        rounds, scalable, exact = "-", "no (delta too large)", "-"
-    return [name, delta, rounds, scalable, exact]
-
-
-@pytest.mark.parametrize("delta", DELTAS)
+@pytest.mark.parametrize("delta", (0.25, 0.5))
 def test_table1(benchmark, delta):
-    seq = random_permutation_sequence(N, seed=1)
-    exact = lis_length(seq)
+    spec = get_spec(SPEC)
+    result = run_experiment(spec, overrides={"delta": [delta]})
+    emit(f"Table 1 reproduction (n={result.fixed['n']}, delta={delta})", result.to_table())
 
-    rows = [
-        _run_row("KT10 [KT10a]", lambda c, s: kt10_lis_length(c, s), seq, delta, exact),
-        _run_row(
-            "IMS17-style (1+eps)", lambda c, s: mpc_lis_approx(c, s, epsilon=0.1).length,
-            seq, delta, exact,
-        ),
-        _run_row("CHS23", lambda c, s: chs23_lis_length(c, s), seq, delta, exact),
-        _run_row("This paper", lambda c, s: mpc_lis_length(c, s), seq, delta, exact),
-    ]
-    emit(
-        f"Table 1 reproduction (n={N}, delta={delta})",
-        format_table(["algorithm", "delta", "rounds", "fully scalable here", "answer"], rows),
-    )
-
-    benchmark(lambda: mpc_lis_length(MPCCluster(N, delta=delta), seq))
+    benchmark(spec.timer(delta=delta))

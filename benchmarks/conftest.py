@@ -2,17 +2,21 @@
 
 Every benchmark prints the rows/series it reproduces (rounds, space,
 communication) in addition to the pytest-benchmark timing, because the paper's
-claims are about round complexity rather than wall-clock time.
+claims are about round complexity rather than wall-clock time.  The actual
+numbers come from the experiment specs registered in
+:mod:`repro.experiments.specs`; the files here are thin pytest wrappers.
 """
 
-import numpy as np
-import pytest
+import sys
 
-
-@pytest.fixture
-def rng():
-    return np.random.default_rng(2024)
+from repro.analysis import format_block
 
 
 def emit(title, text):
-    print(f"\n=== {title} ===\n{text}\n")
+    """Print one titled report block, flushed immediately.
+
+    The explicit flush keeps blocks intact (not lost or interleaved with the
+    progress dots) under pytest ``-q``, output capturing and parallel runs.
+    """
+    sys.stdout.write(format_block(title, text))
+    sys.stdout.flush()

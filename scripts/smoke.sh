@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command smoke check: tier-1 tests, a quick CLI experiment run, and
+# artifact validation.  Intended as the CI entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+ARTIFACT="${1:-/tmp/repro-smoke-table1.json}"
+
+echo "== tier-1 test-suite =="
+python -m pytest -x -q
+
+echo
+echo "== experiment registry =="
+python -m repro list
+
+echo
+echo "== quick table1 run -> ${ARTIFACT} =="
+python -m repro run table1 --quick --json "${ARTIFACT}"
+
+echo
+echo "== artifact schema validation =="
+python -m repro validate "${ARTIFACT}"
+
+echo
+echo "smoke: OK"

@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``.  This file only exists so that
+``pip install -e . --no-use-pep517`` works on toolchains without the
+``wheel`` package (PEP 660 editable installs need it); modern environments
+can use a plain ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

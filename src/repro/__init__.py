@@ -15,16 +15,19 @@ Public API highlights
 * :mod:`repro.baselines` — prior-work comparators used to reproduce Table 1.
 * :mod:`repro.workloads` / :mod:`repro.analysis` — input generators and
   round-complexity predictions / report formatting for the benchmark harness.
+* :mod:`repro.experiments` — the declarative experiment registry, runner and
+  JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, baselines, core, lcs, lis, mpc, mpc_monge, workloads
+from . import analysis, baselines, core, experiments, lcs, lis, mpc, mpc_monge, workloads
 
 __all__ = [
     "analysis",
     "baselines",
     "core",
+    "experiments",
     "lcs",
     "lis",
     "mpc",

@@ -1,9 +1,12 @@
-"""Round-complexity predictions and report formatting."""
+"""Round-complexity predictions, report formatting and JSON serialization."""
 
-from .report import format_series, format_summary, format_table
+from .report import format_block, format_cell, format_series, format_summary, format_table
 from .rounds import TABLE1_PROFILES, AlgorithmProfile, predicted_rounds, recursion_depth
+from .serialize import stats_summary, stats_to_dict, to_jsonable
 
 __all__ = [
+    "format_block",
+    "format_cell",
     "format_series",
     "format_summary",
     "format_table",
@@ -11,4 +14,7 @@ __all__ = [
     "AlgorithmProfile",
     "predicted_rounds",
     "recursion_depth",
+    "stats_summary",
+    "stats_to_dict",
+    "to_jsonable",
 ]

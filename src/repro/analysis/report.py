@@ -4,7 +4,21 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_summary"]
+__all__ = ["format_table", "format_series", "format_summary", "format_block", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: ``None`` as '-', floats with two decimals."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_block(title: str, body: str) -> str:
+    """The harness's titled report block (used by `emit` and the CLI)."""
+    return f"\n=== {title} ===\n{body}\n"
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

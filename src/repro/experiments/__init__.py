@@ -1,0 +1,46 @@
+"""The experiment-runner subsystem: declarative specs, runner, artifacts, CLI.
+
+One registry of :class:`ExperimentSpec` objects powers three front doors —
+the ``python -m repro`` CLI, the ``benchmarks/bench_*.py`` pytest wrappers,
+and the test-suite — so every reproduced table and figure has exactly one
+implementation.  See ``docs/ARCHITECTURE.md`` for the JSON artifact schema.
+"""
+
+from .artifacts import (
+    SCHEMA_ID,
+    SCHEMA_VERSION,
+    ArtifactError,
+    load_artifact,
+    result_to_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from .runner import ExperimentResult, run_experiment
+from .spec import (
+    ExperimentSpec,
+    PointResult,
+    all_specs,
+    expand_grid,
+    get_spec,
+    register_spec,
+    spec_names,
+)
+
+__all__ = [
+    "SCHEMA_ID",
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "load_artifact",
+    "result_to_artifact",
+    "validate_artifact",
+    "write_artifact",
+    "ExperimentResult",
+    "run_experiment",
+    "ExperimentSpec",
+    "PointResult",
+    "all_specs",
+    "expand_grid",
+    "get_spec",
+    "register_spec",
+    "spec_names",
+]

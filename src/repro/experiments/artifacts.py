@@ -1,0 +1,161 @@
+"""Versioned JSON artifacts for experiment results.
+
+Every CLI run (and any caller of :func:`write_artifact`) lands in one
+machine-readable document so results can be diffed across PRs and compared
+against the prior-work baselines.  The schema is deliberately flat and
+self-identifying:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.experiments.result",
+      "schema_version": 1,
+      "package_version": "1.1.0",
+      "experiment": "table1",
+      "title": "Table 1 reproduction ...",
+      "claim": "Table 1",
+      "quick": false,
+      "workers": 1,
+      "created_unix": 1722211200.0,
+      "grid": {"delta": [0.25, 0.5], "algorithm": ["kt10", "..."]},
+      "fixed": {"n": 4096, "seed": 1},
+      "wall_clock_seconds": 1.23,
+      "checks_passed": true,
+      "points": [
+        {"params": {"delta": 0.25, "algorithm": "kt10"},
+         "metrics": {"rounds": 42, "...": "..."},
+         "seconds": 0.05}
+      ]
+    }
+
+``schema_version`` is bumped whenever a field changes meaning; consumers must
+reject documents with a newer major version than they understand.
+:func:`validate_artifact` enforces the invariants below and is used by the
+test-suite and ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+from ..analysis.serialize import to_jsonable
+from .runner import ExperimentResult
+
+__all__ = [
+    "SCHEMA_ID",
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "result_to_artifact",
+    "write_artifact",
+    "load_artifact",
+    "validate_artifact",
+]
+
+SCHEMA_ID = "repro.experiments.result"
+SCHEMA_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A document does not conform to the experiment-artifact schema."""
+
+
+def result_to_artifact(result: ExperimentResult) -> Dict[str, Any]:
+    """Serialise an :class:`ExperimentResult` into the schema-v1 document."""
+    from .. import __version__
+
+    return {
+        "schema": SCHEMA_ID,
+        "schema_version": SCHEMA_VERSION,
+        "package_version": __version__,
+        "experiment": result.spec.name,
+        "title": result.spec.title,
+        "claim": result.spec.claim,
+        "quick": bool(result.quick),
+        "workers": int(result.workers),
+        "created_unix": time.time(),
+        "grid": to_jsonable(result.grid),
+        "fixed": to_jsonable(result.fixed),
+        "wall_clock_seconds": float(result.wall_clock_seconds),
+        "checks_passed": result.checks_passed,
+        "check_error": result.check_error,
+        "points": [
+            {
+                "params": to_jsonable(point.params),
+                "metrics": to_jsonable(point.metrics),
+                "seconds": float(point.seconds),
+            }
+            for point in result.points
+        ],
+    }
+
+
+def write_artifact(result: ExperimentResult, path: str) -> Dict[str, Any]:
+    """Validate and write the artifact for ``result`` to ``path``."""
+    document = result_to_artifact(result)
+    validate_artifact(document)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and validate an artifact document from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_artifact(document)
+    return document
+
+
+_REQUIRED_FIELDS = {
+    "schema": str,
+    "schema_version": int,
+    "package_version": str,
+    "experiment": str,
+    "title": str,
+    "claim": str,
+    "quick": bool,
+    "workers": int,
+    "created_unix": (int, float),
+    "grid": dict,
+    "fixed": dict,
+    "wall_clock_seconds": (int, float),
+    "points": list,
+}
+
+
+def validate_artifact(document: Any) -> None:
+    """Raise :class:`ArtifactError` unless ``document`` is a valid artifact."""
+    if not isinstance(document, dict):
+        raise ArtifactError(f"artifact must be a JSON object, got {type(document).__name__}")
+    for fieldname, expected in _REQUIRED_FIELDS.items():
+        if fieldname not in document:
+            raise ArtifactError(f"artifact is missing required field {fieldname!r}")
+        if not isinstance(document[fieldname], expected):
+            raise ArtifactError(
+                f"artifact field {fieldname!r} has type {type(document[fieldname]).__name__}, "
+                f"expected {expected}"
+            )
+    if document["schema"] != SCHEMA_ID:
+        raise ArtifactError(f"unknown artifact schema {document['schema']!r} (expected {SCHEMA_ID!r})")
+    if document["schema_version"] > SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact schema_version {document['schema_version']} is newer than "
+            f"supported version {SCHEMA_VERSION}"
+        )
+    for key, values in document["grid"].items():
+        if not isinstance(values, list):
+            raise ArtifactError(f"grid entry {key!r} must be a list of swept values")
+    for index, point in enumerate(document["points"]):
+        if not isinstance(point, dict):
+            raise ArtifactError(f"points[{index}] must be an object")
+        for fieldname, expected in (("params", dict), ("metrics", dict), ("seconds", (int, float))):
+            if fieldname not in point:
+                raise ArtifactError(f"points[{index}] is missing {fieldname!r}")
+            if not isinstance(point[fieldname], expected):
+                raise ArtifactError(f"points[{index}].{fieldname} has the wrong type")

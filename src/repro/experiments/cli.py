@@ -1,0 +1,195 @@
+"""The ``python -m repro`` command line interface.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment (name, points, claim).
+``run <spec>``
+    Execute an experiment's grid, print its text table and optionally write
+    the versioned JSON artifact (``--json [PATH]``, default
+    ``results/<spec>.json``).
+``validate <path>``
+    Check an artifact file against the schema (exit 1 on failure).
+
+Examples
+--------
+.. code-block:: console
+
+    $ python -m repro list
+    $ python -m repro run table1 --json results/table1.json
+    $ python -m repro run table1 --quick --workers 4 --set delta=0.5
+    $ python -m repro validate results/table1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.report import format_block, format_table
+from .artifacts import ArtifactError, load_artifact, write_artifact
+from .runner import run_experiment
+from .spec import all_specs, expand_grid, get_spec
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_ARTIFACT_TEMPLATE = "results/{spec}.json"
+
+
+def _parse_scalar(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def _parse_overrides(settings: Sequence[str]) -> Dict[str, List[Any]]:
+    """``["delta=0.25,0.5", "n=1024"]`` → ``{"delta": [0.25, 0.5], "n": [1024]}``."""
+    overrides: Dict[str, List[Any]] = {}
+    for setting in settings:
+        if "=" not in setting:
+            raise ValueError(f"--set expects key=value[,value...], got {setting!r}")
+        key, _, values = setting.partition("=")
+        key = key.strip()
+        if not key or not values:
+            raise ValueError(f"--set expects key=value[,value...], got {setting!r}")
+        overrides[key] = [_parse_scalar(item.strip()) for item in values.split(",")]
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the registered reproduction experiments and manage their JSON artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    list_parser = sub.add_parser("list", help="list the registered experiments")
+    list_parser.add_argument("--json", action="store_true", help="print the listing as JSON")
+
+    run_parser = sub.add_parser("run", help="run one experiment's parameter grid")
+    run_parser.add_argument("spec", help="experiment name (see `list`)")
+    run_parser.add_argument(
+        "--json",
+        nargs="?",
+        const=DEFAULT_ARTIFACT_TEMPLATE,
+        default=None,
+        metavar="PATH",
+        help=f"write the JSON artifact (default path: {DEFAULT_ARTIFACT_TEMPLATE.format(spec='<spec>')})",
+    )
+    run_parser.add_argument("--quick", action="store_true", help="use the spec's reduced smoke-test grid")
+    run_parser.add_argument("--workers", type=int, default=1, metavar="N", help="process fan-out across grid points")
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=V[,V...]",
+        dest="overrides",
+        help="override a swept grid parameter (repeatable)",
+    )
+    run_parser.add_argument("--no-checks", action="store_true", help="skip the cross-point consistency checks")
+
+    validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
+    validate_parser.add_argument("path", help="artifact JSON file")
+
+    return parser
+
+
+def _cmd_list(as_json: bool, out) -> int:
+    specs = all_specs()
+    if as_json:
+        payload = [
+            {
+                "name": spec.name,
+                "title": spec.title,
+                "claim": spec.claim,
+                "points": len(expand_grid(spec.grid)),
+                "swept": sorted(spec.grid),
+                "bench_file": spec.bench_file,
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2), file=out)
+        return 0
+    rows = [
+        [spec.name, len(expand_grid(spec.grid)), ", ".join(sorted(spec.grid)), spec.claim]
+        for spec in specs
+    ]
+    print(format_table(["experiment", "points", "swept parameters", "paper claim"], rows), file=out)
+    print(f"\n{len(specs)} experiments registered; run one with `python -m repro run <name>`.", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    spec = get_spec(args.spec)
+    overrides = _parse_overrides(args.overrides) or None
+    result = run_experiment(
+        spec,
+        quick=args.quick,
+        workers=args.workers,
+        overrides=overrides,
+        run_checks=not args.no_checks,
+        raise_on_check_failure=False,
+    )
+    suffix = " [quick]" if args.quick else ""
+    print(format_block(f"{spec.title}{suffix}", result.to_table()), file=out)
+    fixed = ", ".join(f"{key}={value}" for key, value in sorted(result.fixed.items()))
+    print(
+        f"{len(result.points)} grid points in {result.wall_clock_seconds:.2f}s "
+        f"(workers={result.workers}; fixed: {fixed})",
+        file=out,
+    )
+    if result.checks_passed is True:
+        print("consistency checks: passed", file=out)
+    elif result.checks_passed is False:
+        print(f"consistency checks FAILED: {result.check_error}", file=sys.stderr)
+    if args.json is not None:
+        path = args.json.format(spec=spec.name) if "{spec}" in args.json else args.json
+        write_artifact(result, path)
+        print(f"wrote artifact: {path}", file=out)
+    return 0 if result.checks_passed is not False else 1
+
+
+def _cmd_validate(path: str, out) -> int:
+    try:
+        document = load_artifact(path)
+    except (OSError, json.JSONDecodeError, ArtifactError) as exc:
+        print(f"INVALID: {path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {path} (experiment={document['experiment']}, "
+        f"schema_version={document['schema_version']}, points={len(document['points'])})",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(out)
+        return 2
+    try:
+        if args.command == "list":
+            return _cmd_list(args.json, out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "validate":
+            return _cmd_validate(args.path, out)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except AssertionError as exc:
+        print(f"consistency check FAILED: {exc}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2

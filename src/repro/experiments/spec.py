@@ -1,0 +1,159 @@
+"""Declarative experiment specifications and the global spec registry.
+
+An :class:`ExperimentSpec` captures everything one reproduction experiment
+needs: a parameter grid (what is swept), fixed parameters (what is held
+constant), a *point function* that executes one grid point and returns a flat
+metrics dictionary, the column order for the text report, optional cross-point
+consistency checks, and an optional timing callable for pytest-benchmark.
+
+Specs are registered by name in a module-level registry; the CLI
+(``python -m repro``), the benchmark wrappers under ``benchmarks/`` and the
+test-suite all resolve experiments through :func:`get_spec`, so there is a
+single code path from "name on the command line" to "rows in Table 1".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "ExperimentSpec",
+    "expand_grid",
+    "register_spec",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+]
+
+#: A point function: ``point(**params) -> {metric_name: value}``.
+PointFn = Callable[..., Mapping[str, Any]]
+#: Cross-point checks: ``checks(points)`` raises ``AssertionError`` on failure.
+CheckFn = Callable[[List["PointResult"]], None]
+#: A timer factory: returns the zero-argument callable pytest-benchmark times.
+TimerFactory = Callable[[], Callable[[], Any]]
+
+
+@dataclass
+class PointResult:
+    """One executed grid point: its parameters, metrics and wall-clock time."""
+
+    params: Dict[str, Any]
+    metrics: Dict[str, Any]
+    seconds: float = 0.0
+
+    def row(self) -> Dict[str, Any]:
+        """Parameters and metrics flattened into one lookup dictionary."""
+        merged = dict(self.params)
+        merged.update(self.metrics)
+        return merged
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative, registry-addressable reproduction experiment."""
+
+    #: Registry key and CLI name (``python -m repro run <name>``).
+    name: str
+    #: Human-readable headline used for report blocks and artifacts.
+    title: str
+    #: The paper claim this experiment reproduces (e.g. "Theorem 1.3").
+    claim: str
+    #: Parameter grid: each key maps to the sequence of values to sweep.
+    grid: Mapping[str, Sequence[Any]]
+    #: One grid point: called as ``point(**fixed, **grid_point)``.
+    point: PointFn
+    #: Column order of the text table (keys of ``PointResult.row()``).
+    columns: Sequence[str]
+    #: Constant parameters merged into every point invocation.
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    #: Reduced grid for ``--quick`` runs (falls back to ``grid``).
+    quick_grid: Optional[Mapping[str, Sequence[Any]]] = None
+    #: Fixed-parameter overrides for ``--quick`` runs (merged over ``fixed``).
+    quick_fixed: Optional[Mapping[str, Any]] = None
+    #: Cross-point consistency checks (the scientific assertions).
+    checks: Optional[CheckFn] = None
+    #: Factory for the representative callable timed by pytest-benchmark.
+    timer: Optional[TimerFactory] = None
+    #: The benchmark module this spec powers (provenance / docs pointer).
+    bench_file: str = ""
+
+    def effective_grid(
+        self, quick: bool = False, overrides: Optional[Mapping[str, Sequence[Any]]] = None
+    ) -> Dict[str, Sequence[Any]]:
+        """The grid actually swept: quick subset, then explicit overrides.
+
+        Override keys must already exist in the grid — a typo on the command
+        line should fail loudly, not silently sweep nothing.
+        """
+        base = self.quick_grid if (quick and self.quick_grid is not None) else self.grid
+        merged: Dict[str, Sequence[Any]] = {key: list(values) for key, values in base.items()}
+        for key, values in (overrides or {}).items():
+            if key not in merged:
+                raise KeyError(
+                    f"spec {self.name!r} has no grid parameter {key!r}; "
+                    f"swept parameters: {sorted(merged)}"
+                )
+            merged[key] = list(values)
+        return merged
+
+    def effective_fixed(self, quick: bool = False) -> Dict[str, Any]:
+        fixed = dict(self.fixed)
+        if quick and self.quick_fixed is not None:
+            fixed.update(self.quick_fixed)
+        return fixed
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of the grid, in key insertion order.
+
+    ``{"a": [1, 2], "b": ["x"]}`` → ``[{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]``.
+    An empty grid yields one empty point (a single unparameterised run).
+    """
+    keys = list(grid.keys())
+    combos = itertools.product(*(grid[key] for key in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry; duplicate names are a programming error."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"experiment spec {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_builtin_specs() -> None:
+    # Imported lazily so `repro.experiments.spec` stays import-cycle-free and
+    # worker processes that resolve specs by name self-populate the registry.
+    from . import specs  # noqa: F401
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Resolve a registered experiment by name."""
+    _ensure_builtin_specs()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {', '.join(spec_names())}"
+        ) from None
+
+
+def is_registered(spec: ExperimentSpec) -> bool:
+    """Whether this exact spec object is resolvable by name (pool fan-out needs it)."""
+    return _REGISTRY.get(spec.name) is spec
+
+
+def spec_names() -> List[str]:
+    _ensure_builtin_specs()
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[ExperimentSpec]:
+    _ensure_builtin_specs()
+    return [_REGISTRY[name] for name in spec_names()]

@@ -10,6 +10,14 @@ from .generators import (
     random_permutation_sequence,
     random_string_pair,
 )
+from .registry import (
+    make_sequence,
+    make_string_pair,
+    sequence_workload,
+    sequence_workload_names,
+    string_workload,
+    string_workload_names,
+)
 
 __all__ = [
     "block_sorted_sequence",
@@ -20,4 +28,10 @@ __all__ = [
     "planted_lis_sequence",
     "random_permutation_sequence",
     "random_string_pair",
+    "make_sequence",
+    "make_string_pair",
+    "sequence_workload",
+    "sequence_workload_names",
+    "string_workload",
+    "string_workload_names",
 ]

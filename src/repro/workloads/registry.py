@@ -1,0 +1,124 @@
+"""Named workload registry used by the experiment specs and the CLI.
+
+Experiment specs refer to workloads by *name* (a plain string that survives a
+round-trip through the JSON artifact), so every generator from
+:mod:`repro.workloads.generators` is addressable here.  Sequence workloads
+produce one integer sequence; string workloads produce an ``(s, t)`` pair for
+the LCS experiments.  Parameters that the generators require beyond ``n`` and
+``seed`` (block counts, alphabet sizes, mutation rates) use the conventions of
+the benchmark harness and can be overridden via keyword arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .generators import (
+    block_sorted_sequence,
+    correlated_string_pair,
+    decreasing_sequence,
+    duplicate_heavy_sequence,
+    near_sorted_sequence,
+    planted_lis_sequence,
+    random_permutation_sequence,
+    random_string_pair,
+)
+
+__all__ = [
+    "SequenceWorkload",
+    "StringWorkload",
+    "sequence_workload",
+    "string_workload",
+    "sequence_workload_names",
+    "string_workload_names",
+    "make_sequence",
+    "make_string_pair",
+]
+
+SequenceWorkload = Callable[..., np.ndarray]
+StringWorkload = Callable[..., Tuple[np.ndarray, np.ndarray]]
+
+
+def _planted(n: int, seed: Optional[int] = None, *, lis_length: Optional[int] = None) -> np.ndarray:
+    return planted_lis_sequence(n, lis_length if lis_length is not None else max(1, n // 3), seed=seed)
+
+
+def _block_sorted(n: int, seed: Optional[int] = None, *, num_blocks: Optional[int] = None) -> np.ndarray:
+    return block_sorted_sequence(n, num_blocks if num_blocks is not None else max(1, int(math.isqrt(n))), seed=seed)
+
+
+def _decreasing(n: int, seed: Optional[int] = None) -> np.ndarray:
+    return decreasing_sequence(n)
+
+
+def _near_sorted(n: int, seed: Optional[int] = None, *, swaps: Optional[int] = None) -> np.ndarray:
+    return near_sorted_sequence(n, swaps if swaps is not None else max(1, n // 8), seed=seed)
+
+
+def _duplicate_heavy(n: int, seed: Optional[int] = None, *, alphabet: Optional[int] = None) -> np.ndarray:
+    return duplicate_heavy_sequence(n, alphabet if alphabet is not None else max(2, n // 16), seed=seed)
+
+
+_SEQUENCE_WORKLOADS: Dict[str, SequenceWorkload] = {
+    "random": random_permutation_sequence,
+    "planted": _planted,
+    "block_sorted": _block_sorted,
+    "decreasing": _decreasing,
+    "near_sorted": _near_sorted,
+    "duplicate_heavy": _duplicate_heavy,
+}
+
+
+def _random_pair(n: int, seed: Optional[int] = None, *, alphabet: int = 16):
+    return random_string_pair(n, alphabet, seed=seed)
+
+
+def _correlated_pair(n: int, seed: Optional[int] = None, *, alphabet: int = 16, mutation_rate: float = 0.1):
+    return correlated_string_pair(n, alphabet, mutation_rate, seed=seed)
+
+
+_STRING_WORKLOADS: Dict[str, StringWorkload] = {
+    "random_pair": _random_pair,
+    "correlated_pair": _correlated_pair,
+}
+
+
+def sequence_workload(name: str) -> SequenceWorkload:
+    """Look up a sequence workload generator by name."""
+    try:
+        return _SEQUENCE_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sequence workload {name!r}; available: {sequence_workload_names()}"
+        ) from None
+
+
+def string_workload(name: str) -> StringWorkload:
+    """Look up a string-pair workload generator by name."""
+    try:
+        return _STRING_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown string workload {name!r}; available: {string_workload_names()}"
+        ) from None
+
+
+def sequence_workload_names() -> List[str]:
+    return sorted(_SEQUENCE_WORKLOADS)
+
+
+def string_workload_names() -> List[str]:
+    return sorted(_STRING_WORKLOADS)
+
+
+def make_sequence(name: str, n: int, seed: Optional[int] = None, **kwargs) -> np.ndarray:
+    """Generate the named sequence workload (the spec-facing entry point)."""
+    return sequence_workload(name)(n, seed=seed, **kwargs)
+
+
+def make_string_pair(name: str, n: int, seed: Optional[int] = None, **kwargs):
+    """Generate the named string-pair workload (the spec-facing entry point)."""
+    return string_workload(name)(n, seed=seed, **kwargs)
