@@ -1,0 +1,26 @@
+"""E10 — Execution-engine comparison: serial vs thread vs process backends.
+
+Thin pytest wrapper over the registered ``backend_wallclock`` experiment
+spec.  The spec's cross-point checks assert the engine invariant (backends
+change wall-clock only: rounds, communication, peak load and the product
+itself are bit-identical); the table records the measured wall-clock of each
+backend plus the host's CPU count, since the speedup of the parallel
+backends scales with available cores.
+"""
+
+from repro.experiments import get_spec, run_experiment
+
+from conftest import emit
+
+SPEC = "backend_wallclock"
+
+
+def test_backend_wallclock(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit(
+        f"Execution backends (n={result.fixed['n']}, delta={result.fixed['delta']})",
+        result.to_table(),
+    )
+
+    benchmark(spec.timer())

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# One-command smoke check: tier-1 tests, a quick CLI experiment run, and
-# artifact validation.  Intended as the CI entry point.
+# One-command smoke check: tier-1 tests, a quick CLI experiment run (serial
+# and process execution backends), and artifact validation.  Intended as the
+# CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 ARTIFACT="${1:-/tmp/repro-smoke-table1.json}"
+BACKEND_ARTIFACT="${2:-/tmp/repro-smoke-lis-process.json}"
 
 echo "== tier-1 test-suite =="
 python -m pytest -x -q
@@ -19,8 +21,13 @@ echo "== quick table1 run -> ${ARTIFACT} =="
 python -m repro run table1 --quick --json "${ARTIFACT}"
 
 echo
+echo "== quick lis_rounds run on the process execution backend -> ${BACKEND_ARTIFACT} =="
+python -m repro run lis_rounds --quick --backend process --json "${BACKEND_ARTIFACT}"
+
+echo
 echo "== artifact schema validation =="
 python -m repro validate "${ARTIFACT}"
+python -m repro validate "${BACKEND_ARTIFACT}"
 
 echo
 echo "smoke: OK"

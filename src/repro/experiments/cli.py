@@ -18,6 +18,7 @@ Examples
     $ python -m repro list
     $ python -m repro run table1 --json results/table1.json
     $ python -m repro run table1 --quick --workers 4 --set delta=0.5
+    $ python -m repro run lis_rounds --quick --backend process
     $ python -m repro validate results/table1.json
 """
 
@@ -29,6 +30,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.report import format_block, format_table
+from ..mpc.engine import backend_names
 from .artifacts import ArtifactError, load_artifact, write_artifact
 from .runner import run_experiment
 from .spec import all_specs, expand_grid, get_spec
@@ -87,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quick", action="store_true", help="use the spec's reduced smoke-test grid")
     run_parser.add_argument("--workers", type=int, default=1, metavar="N", help="process fan-out across grid points")
     run_parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="execution backend of the simulated clusters (wall-clock only; "
+        "rounds/space/communication accounting is backend-invariant)",
+    )
+    run_parser.add_argument(
         "--set",
         action="append",
         default=[],
@@ -129,12 +138,25 @@ def _cmd_list(as_json: bool, out) -> int:
 
 def _cmd_run(args, out) -> int:
     spec = get_spec(args.spec)
-    overrides = _parse_overrides(args.overrides) or None
+    overrides = _parse_overrides(args.overrides)
+    fixed_overrides = None
+    if args.backend is not None:
+        if "backend" in overrides:
+            raise ValueError(
+                "--backend conflicts with --set backend=...; pass only one of the two"
+            )
+        if "backend" in spec.grid:
+            # Specs that *sweep* the backend (backend_wallclock) are
+            # restricted to the requested one instead.
+            overrides["backend"] = [args.backend]
+        else:
+            fixed_overrides = {"backend": args.backend}
     result = run_experiment(
         spec,
         quick=args.quick,
         workers=args.workers,
-        overrides=overrides,
+        overrides=overrides or None,
+        fixed_overrides=fixed_overrides,
         run_checks=not args.no_checks,
         raise_on_check_failure=False,
     )

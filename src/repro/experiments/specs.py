@@ -19,6 +19,7 @@ import numpy as np
 from ..analysis.serialize import stats_summary
 from ..baselines import chs23_lis_length, chs23_multiply, kt10_lis_length
 from ..core import multiply_permutations, random_permutation
+from ..core.permutation import Permutation
 from ..core.seaweed import expand_block_results, split_into_blocks
 from ..lcs import count_matches, lcs_cluster_for, lcs_length_dp, mpc_lcs_length
 from ..lis import (
@@ -40,6 +41,24 @@ __all__ = ["sequential_case_callable"]
 def _permutation_pair(n: int, seed: int):
     rng = np.random.default_rng(seed)
     return random_permutation(n, rng), random_permutation(n, rng)
+
+
+def _workload_permutation_pair(workload: str, n: int, seed: int):
+    """Operands for the multiply ablations, shaped by a named workload.
+
+    ``P_A`` is the rank permutation of the named sequence workload (stable
+    ranks, so duplicate-heavy workloads like ``zipfian`` still yield a valid
+    permutation); ``P_B`` is an independent random permutation.  ``random``
+    keeps the historical pair so existing grids reproduce unchanged.
+    """
+    if workload == "random":
+        return _permutation_pair(n, seed)
+    sequence = make_sequence(workload, n, seed=seed)
+    order = np.argsort(sequence, kind="stable")
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(seed + 1)
+    return Permutation(ranks), random_permutation(n, rng)
 
 
 def _series_by(points: List[PointResult], group_key: str, x: str, y: str) -> Dict[Any, List[Any]]:
@@ -76,12 +95,14 @@ def _table1_algorithm(name: str, epsilon: float) -> Callable[[MPCCluster, np.nda
     raise KeyError(f"unknown Table 1 algorithm {name!r}")
 
 
-def run_table1_point(algorithm: str, delta: float, n: int, seed: int = 1, epsilon: float = 0.1) -> Dict[str, Any]:
+def run_table1_point(
+    algorithm: str, delta: float, n: int, seed: int = 1, epsilon: float = 0.1, backend: str = "serial"
+) -> Dict[str, Any]:
     seq = make_sequence("random", n, seed=seed)
     exact = lis_length(seq)
     fn = _table1_algorithm(algorithm, epsilon)
     try:
-        cluster = MPCCluster(n, delta=delta)
+        cluster = MPCCluster(n, delta=delta, backend=backend)
         value = int(fn(cluster, seq))
         return {
             "label": TABLE1_ALGORITHMS[algorithm],
@@ -128,7 +149,7 @@ register_spec(
         title="Table 1 reproduction: massively parallel LIS algorithms",
         claim="Table 1 (Theorems 1.1-1.3 vs prior work)",
         grid={"delta": [0.25, 0.5], "algorithm": list(TABLE1_ALGORITHMS)},
-        fixed={"n": 4096, "seed": 1, "epsilon": 0.1},
+        fixed={"n": 4096, "seed": 1, "epsilon": 0.1, "backend": "serial"},
         quick_fixed={"n": 512},
         point=run_table1_point,
         columns=["label", "delta", "rounds", "scalable", "answer"],
@@ -149,9 +170,11 @@ MULTIPLY_ALGORITHMS: Dict[str, str] = {
 }
 
 
-def run_multiply_point(algorithm: str, n: int, delta: float, seed: int = 2024) -> Dict[str, Any]:
+def run_multiply_point(
+    algorithm: str, n: int, delta: float, seed: int = 2024, backend: str = "serial"
+) -> Dict[str, Any]:
     pa, pb = _permutation_pair(n, seed + n)
-    cluster = MPCCluster(n, delta=delta)
+    cluster = MPCCluster(n, delta=delta, backend=backend)
     if algorithm == "this_paper":
         result = mpc_multiply(cluster, pa, pb)
     elif algorithm == "warmup":
@@ -195,7 +218,7 @@ register_spec(
         title="Multiplication rounds vs n (Theorem 1.1)",
         claim="Theorem 1.1 (O(1)-round subunit-Monge multiplication)",
         grid={"n": [1024, 4096, 16384, 65536], "algorithm": list(MULTIPLY_ALGORITHMS)},
-        fixed={"delta": 0.5, "seed": 2024},
+        fixed={"delta": 0.5, "seed": 2024, "backend": "serial"},
         quick_grid={"n": [1024, 4096], "algorithm": list(MULTIPLY_ALGORITHMS)},
         point=run_multiply_point,
         columns=["n", "label", "rounds", "peak_machine_load", "space_per_machine"],
@@ -210,13 +233,15 @@ register_spec(
 # E3 — Fully-scalable claim: rounds and space across the whole delta range.
 
 
-def run_scalability_point(delta: float, n: int, seed: int = 2024) -> Dict[str, Any]:
-    pa, pb = _permutation_pair(n, seed)
-    cluster = MPCCluster(n, delta=delta)
+def run_scalability_point(
+    delta: float, workload: str = "random", n: int = 8192, seed: int = 2024, backend: str = "serial"
+) -> Dict[str, Any]:
+    pa, pb = _workload_permutation_pair(workload, n, seed)
+    cluster = MPCCluster(n, delta=delta, backend=backend)
     mpc_multiply(cluster, pa, pb)
     summary = stats_summary(cluster.stats)
     assert summary["peak_machine_load"] <= summary["space_per_machine"], (
-        f"space budget violated at delta={delta}"
+        f"space budget violated at delta={delta} ({workload})"
     )
     return summary
 
@@ -240,12 +265,15 @@ register_spec(
         name="scalability_delta",
         title="Scalability sweep: rounds and space across delta (Theorem 1.2)",
         claim="Theorem 1.2 (fully scalable: every 0 < delta < 1)",
-        grid={"delta": [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]},
-        fixed={"n": 8192, "seed": 2024},
-        quick_grid={"delta": [0.25, 0.5, 0.75]},
+        grid={
+            "delta": [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            "workload": ["random", "zipfian", "block_sorted_noisy", "adversarial_alternating"],
+        },
+        fixed={"n": 8192, "seed": 2024, "backend": "serial"},
+        quick_grid={"delta": [0.25, 0.5, 0.75], "workload": ["random", "zipfian"]},
         quick_fixed={"n": 1024},
         point=run_scalability_point,
-        columns=["delta", "machines", "space_per_machine", "rounds", "peak_machine_load", "space_utilisation"],
+        columns=["delta", "workload", "machines", "space_per_machine", "rounds", "peak_machine_load", "space_utilisation"],
         checks=check_scalability,
         timer=timer_scalability,
         bench_file="benchmarks/bench_scalability_delta.py",
@@ -257,12 +285,12 @@ register_spec(
 # E4 — Theorem 1.3: exact LIS round growth vs the CHS23-style baseline.
 
 
-def run_lis_rounds_point(workload: str, n: int, delta: float) -> Dict[str, Any]:
+def run_lis_rounds_point(workload: str, n: int, delta: float, backend: str = "serial") -> Dict[str, Any]:
     seq = make_sequence(workload, n, seed=n)
     expected = lis_length(seq)
-    ours = MPCCluster(n, delta=delta)
+    ours = MPCCluster(n, delta=delta, backend=backend)
     assert mpc_lis_length(ours, seq) == expected, "this paper's LIS is not exact"
-    chs = MPCCluster(n, delta=delta)
+    chs = MPCCluster(n, delta=delta, backend=backend)
     assert chs23_lis_length(chs, seq) == expected, "CHS23 baseline LIS is not exact"
     return {
         "lis": expected,
@@ -292,7 +320,7 @@ register_spec(
         title="Exact LIS rounds vs n (Theorem 1.3)",
         claim="Theorem 1.3 (exact LIS in O(log n) rounds)",
         grid={"workload": ["random", "planted"], "n": [512, 2048, 8192]},
-        fixed={"delta": 0.5},
+        fixed={"delta": 0.5, "backend": "serial"},
         quick_grid={"workload": ["random", "planted"], "n": [512, 1024]},
         point=run_lis_rounds_point,
         columns=["workload", "n", "lis", "rounds", "rounds_chs23"],
@@ -331,7 +359,9 @@ def sequential_case_callable(task: str, n: int) -> Callable[[], Any]:
     raise KeyError(f"unknown sequential task {task!r}")
 
 
-def _sequential_point(case: Any) -> Dict[str, Any]:
+def _sequential_point(case: Any, backend: str = "serial") -> Dict[str, Any]:
+    # `backend` is accepted for CLI uniformity (`--backend` works on every
+    # spec) but unused: the sequential substrate has no cluster to schedule.
     if not isinstance(case, dict) or not {"task", "n"} <= set(case):
         raise ValueError(
             "the sequential experiment's grid values are objects like "
@@ -390,6 +420,7 @@ register_spec(
             ]
         },
         point=_sequential_point,
+        fixed={"backend": "serial"},
         columns=["task", "n", "kernel_seconds", "ok"],
         checks=check_sequential,
         timer=timer_sequential,
@@ -413,7 +444,7 @@ LCS_WORKLOADS: Dict[str, Dict[str, Any]] = {
 }
 
 
-def run_lcs_point(workload: str, n: int) -> Dict[str, Any]:
+def run_lcs_point(workload: str, n: int, backend: str = "serial") -> Dict[str, Any]:
     try:
         case = LCS_WORKLOADS[workload]
     except KeyError:
@@ -428,7 +459,7 @@ def run_lcs_point(workload: str, n: int) -> Dict[str, Any]:
         seed = n + case["alphabet"]
     s, t = make_string_pair(case["workload"], n, seed=seed, **kwargs)
     matches = count_matches(s, t)
-    cluster = lcs_cluster_for(len(s), len(t), matches)
+    cluster = lcs_cluster_for(len(s), len(t), matches, backend=backend)
     result = mpc_lcs_length(cluster, s, t)
     assert result.length == lcs_length_dp(s, t), f"MPC LCS is not exact on {workload}"
     return {
@@ -453,7 +484,7 @@ register_spec(
         title="LCS via Hunt-Szymanski (Corollary 1.3.1)",
         claim="Corollary 1.3.1 (exact LCS in O(log n) rounds)",
         grid={"workload": list(LCS_WORKLOADS)},
-        fixed={"n": 256},
+        fixed={"n": 256, "backend": "serial"},
         quick_fixed={"n": 96},
         point=run_lcs_point,
         columns=["label", "matches", "machines", "space_per_machine", "rounds", "lcs"],
@@ -467,12 +498,12 @@ register_spec(
 # E7 — Communication volume per round of the MPC algorithms.
 
 
-def run_communication_point(n: int, delta: float, seed: int = 2024) -> Dict[str, Any]:
+def run_communication_point(n: int, delta: float, seed: int = 2024, backend: str = "serial") -> Dict[str, Any]:
     pa, pb = _permutation_pair(n, seed + n)
-    mult = MPCCluster(n, delta=delta)
+    mult = MPCCluster(n, delta=delta, backend=backend)
     mpc_multiply(mult, pa, pb)
     seq = make_sequence("random", n, seed=n)
-    lis = MPCCluster(n, delta=delta)
+    lis = MPCCluster(n, delta=delta, backend=backend)
     mpc_lis_length(lis, seq)
     return {
         "multiply_total": mult.stats.total_communication,
@@ -495,7 +526,7 @@ register_spec(
         title="Total communication (words): multiply and LIS",
         claim="communication accounting of Theorems 1.1 / 1.3",
         grid={"n": [1024, 4096, 16384]},
-        fixed={"delta": 0.5, "seed": 2024},
+        fixed={"delta": 0.5, "seed": 2024, "backend": "serial"},
         quick_grid={"n": [1024, 4096]},
         point=run_communication_point,
         columns=[
@@ -516,12 +547,15 @@ register_spec(
 # E8 — Ablation: fan-in H of the multiway combine.
 
 
-def run_fanin_point(fanin: int, n: int, delta: float, seed: int = 2024) -> Dict[str, Any]:
-    pa, pb = _permutation_pair(n, seed)
-    cluster = MPCCluster(n, delta=delta)
+def run_fanin_point(
+    fanin: int, workload: str = "random", n: int = 8192, delta: float = 0.5,
+    seed: int = 2024, backend: str = "serial",
+) -> Dict[str, Any]:
+    pa, pb = _workload_permutation_pair(workload, n, seed)
+    cluster = MPCCluster(n, delta=delta, backend=backend)
     config = MongeMPCConfig(fanin=fanin, tree_arity=fanin)
     assert mpc_multiply(cluster, pa, pb, config) == multiply_permutations(pa, pb), (
-        f"wrong product at fan-in {fanin}"
+        f"wrong product at fan-in {fanin} ({workload})"
     )
     return {
         "rounds": cluster.stats.num_rounds,
@@ -531,11 +565,16 @@ def run_fanin_point(fanin: int, n: int, delta: float, seed: int = 2024) -> Dict[
 
 
 def check_fanin(points: List[PointResult]) -> None:
-    rounds = {point.row()["fanin"]: point.row()["rounds"] for point in points}
-    if len(rounds) >= 2:
-        assert rounds[max(rounds)] <= rounds[min(rounds)], (
-            "larger fan-in must not use more rounds than the smallest fan-in"
-        )
+    # Per workload: larger fan-in must not deepen the recursion.
+    by_workload: Dict[Any, Dict[int, int]] = {}
+    for point in points:
+        row = point.row()
+        by_workload.setdefault(row.get("workload", "random"), {})[row["fanin"]] = row["rounds"]
+    for workload, rounds in by_workload.items():
+        if len(rounds) >= 2:
+            assert rounds[max(rounds)] <= rounds[min(rounds)], (
+                f"larger fan-in must not use more rounds than the smallest fan-in ({workload})"
+            )
 
 
 def timer_fanin() -> Callable[[], Any]:
@@ -550,11 +589,15 @@ register_spec(
         name="fanin_ablation",
         title="Fan-in ablation of the multiway combine",
         claim="Section 3 (fan-in H = n^((1-delta)/10) trade-off)",
-        grid={"fanin": [2, 4, 8, 16]},
-        fixed={"n": 8192, "delta": 0.5, "seed": 2024},
+        grid={
+            "fanin": [2, 4, 8, 16],
+            "workload": ["random", "zipfian", "block_sorted_noisy", "adversarial_alternating"],
+        },
+        fixed={"n": 8192, "delta": 0.5, "seed": 2024, "backend": "serial"},
+        quick_grid={"fanin": [2, 4, 8, 16], "workload": ["random", "adversarial_alternating"]},
         quick_fixed={"n": 1024},
         point=run_fanin_point,
-        columns=["fanin", "rounds", "peak_machine_load", "total_communication"],
+        columns=["fanin", "workload", "rounds", "peak_machine_load", "total_communication"],
         checks=check_fanin,
         timer=timer_fanin,
         bench_file="benchmarks/bench_fanin_ablation.py",
@@ -578,9 +621,11 @@ def _space_overhead_inputs(n: int, num_blocks: int, seed: int):
     return expected, rows_, cols_, colors_
 
 
-def run_space_overhead_point(grid_size: int, n: int, num_blocks: int, delta: float, seed: int = 2024) -> Dict[str, Any]:
+def run_space_overhead_point(
+    grid_size: int, n: int, num_blocks: int, delta: float, seed: int = 2024, backend: str = "serial"
+) -> Dict[str, Any]:
     expected, rows_, cols_, colors_ = _space_overhead_inputs(n, num_blocks, seed)
-    cluster = MPCCluster(n, delta=delta)
+    cluster = MPCCluster(n, delta=delta, backend=backend)
     merged, report = mpc_combine(
         cluster, rows_, cols_, colors_, num_blocks, n, MongeMPCConfig(grid_size=grid_size)
     )
@@ -608,7 +653,7 @@ register_spec(
         title="Grid-size / subgrid space-overhead ablation",
         claim="Section 3.3 (subgrid instance packaging overhead)",
         grid={"grid_size": [16, 32, 64, 128]},
-        fixed={"n": 4096, "num_blocks": 4, "delta": 0.5, "seed": 2024},
+        fixed={"n": 4096, "num_blocks": 4, "delta": 0.5, "seed": 2024, "backend": "serial"},
         quick_grid={"grid_size": [16, 32]},
         quick_fixed={"n": 1024},
         point=run_space_overhead_point,
@@ -622,5 +667,88 @@ register_spec(
         ],
         timer=timer_space_overhead,
         bench_file="benchmarks/bench_space_overhead.py",
+    )
+)
+
+
+# ----------------------------------------------------------- backend_wallclock
+# E10 — Execution engine: wall-clock and accounting identity across backends.
+
+
+def run_backend_wallclock_point(backend: str, n: int, delta: float, seed: int = 2024) -> Dict[str, Any]:
+    import os
+
+    pa, pb = _permutation_pair(n, seed + n)
+    cluster = MPCCluster(n, delta=delta, backend=backend)
+    started = time.perf_counter()
+    result = mpc_multiply(cluster, pa, pb)
+    multiply_seconds = time.perf_counter() - started
+
+    seq = make_sequence("random", n, seed=seed)
+    lis_cluster = MPCCluster(n, delta=delta, backend=backend)
+    started = time.perf_counter()
+    lis_value = mpc_lis_length(lis_cluster, seq)
+    lis_seconds = time.perf_counter() - started
+
+    # A cheap order-sensitive digest of the product; identical across backends
+    # iff the output permutations are bit-identical.
+    points = result.row_to_col
+    checksum = int((points * (np.arange(n, dtype=np.int64) + 1)).sum() % (2**61 - 1))
+    return {
+        "backend": backend,
+        "multiply_seconds": multiply_seconds,
+        "lis_seconds": lis_seconds,
+        "rounds": cluster.stats.num_rounds,
+        "total_communication": cluster.stats.total_communication,
+        "peak_machine_load": cluster.stats.peak_machine_load,
+        "lis_rounds": lis_cluster.stats.num_rounds,
+        "lis": int(lis_value),
+        "product_checksum": checksum,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def check_backend_wallclock(points: List[PointResult]) -> None:
+    # The scientific assertion: backends change wall-clock only.  All points
+    # of one run share the same fixed n, so every simulated quantity must be
+    # identical across the swept backends.
+    invariant = ("rounds", "total_communication", "peak_machine_load", "lis_rounds", "lis", "product_checksum")
+    rows = [point.row() for point in points]
+    reference = rows[0]
+    for row in rows[1:]:
+        for key in invariant:
+            assert row[key] == reference[key], (
+                f"backend {row['backend']} diverges from {reference['backend']} "
+                f"on {key}: {row[key]} != {reference[key]}"
+            )
+
+
+def timer_backend_wallclock() -> Callable[[], Any]:
+    n, delta = 4096, 0.5
+    pa, pb = _permutation_pair(n, 2024 + n)
+    return lambda: mpc_multiply(MPCCluster(n, delta=delta, backend="process"), pa, pb)
+
+
+register_spec(
+    ExperimentSpec(
+        name="backend_wallclock",
+        title="Execution-backend wall-clock comparison (serial vs thread vs process)",
+        claim="execution-engine invariant: backends change wall-clock only",
+        grid={"backend": ["serial", "thread", "process"]},
+        fixed={"n": 16384, "delta": 0.5, "seed": 2024},
+        quick_fixed={"n": 2048},
+        point=run_backend_wallclock_point,
+        columns=[
+            "backend",
+            "multiply_seconds",
+            "lis_seconds",
+            "rounds",
+            "peak_machine_load",
+            "product_checksum",
+            "cpu_count",
+        ],
+        checks=check_backend_wallclock,
+        timer=timer_backend_wallclock,
+        bench_file="benchmarks/bench_backend_wallclock.py",
     )
 )

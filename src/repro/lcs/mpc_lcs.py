@@ -33,12 +33,19 @@ class MPCLCSResult:
     match_cluster: MPCCluster
 
 
-def lcs_cluster_for(s_length: int, t_length: int, num_matches: int, delta: float = 0.5) -> MPCCluster:
+def lcs_cluster_for(
+    s_length: int,
+    t_length: int,
+    num_matches: int,
+    delta: float = 0.5,
+    backend: Optional[str] = None,
+) -> MPCCluster:
     """A cluster sized for the Hunt–Szymanski instance (Õ(n²) total space).
 
     Corollary 1.3.1 assumes ``n^{1+δ}`` machines of ``Õ(n^{1-δ})`` space; this
     helper provisions a cluster whose total space fits all matching pairs
     while keeping the per-machine space at ``Õ(n^{1-δ})`` for ``n = |S|+|T|``.
+    ``backend`` selects the execution backend (wall-clock only).
     """
     n = max(1, s_length + t_length)
     space = max(32, math.ceil(2 * (n ** (1.0 - delta)) * max(1.0, math.log2(max(n, 2)))))
@@ -46,7 +53,7 @@ def lcs_cluster_for(s_length: int, t_length: int, num_matches: int, delta: float
     # pair of blocks plus the sort/tree working state (a small constant factor
     # over the raw match count).
     machines = max(1, math.ceil(6 * max(num_matches, n) / space) + 1)
-    return MPCCluster(n, delta, num_machines=machines, space_per_machine=space)
+    return MPCCluster(n, delta, num_machines=machines, space_per_machine=space, backend=backend)
 
 
 def mpc_lcs_length(
@@ -70,13 +77,17 @@ def mpc_lcs_length(
             "(Corollary 1.3.1 needs ~n^{1+delta} machines)",
         )
     # Generating and sorting the pairs: each machine scans its block of S
-    # against the (broadcast) alphabet index of T — O(1) rounds.
+    # against the (broadcast) alphabet index of T — O(1) rounds.  The load is
+    # the true per-machine pair count (2 words per pair), *not* clamped to the
+    # space budget: under strict_space=False ablations a clamp would silently
+    # under-report the peak load, and under strict accounting a genuine
+    # overflow must raise rather than hide.
     per_machine = math.ceil(max(num_matches, 1) / cluster.num_machines) + 1
     cluster.charge_rounds(
         SORT_ROUNDS,
         "lcs:generate+sort",
         words_per_round=2 * max(num_matches, 1),
-        max_load=min(per_machine * 2, cluster.space_per_machine),
+        max_load=per_machine * 2,
         phase="lcs",
     )
     if num_matches == 0:

@@ -21,6 +21,7 @@ construction (:func:`mpc_semilocal_lis`).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -58,6 +59,16 @@ def _local_block_matrix(coords_split: np.ndarray, coords_index: np.ndarray) -> S
 #: Signature of the multiplication used by the merge phase: it receives the
 #: cluster and the two embedded sub-permutation matrices.
 MultiplyInMPC = Callable[[MPCCluster, SubPermutation, SubPermutation], SubPermutation]
+
+
+def _default_merge_multiply(
+    cluster: MPCCluster,
+    left: SubPermutation,
+    right: SubPermutation,
+    config: Optional[MongeMPCConfig] = None,
+) -> SubPermutation:
+    """The Theorem 1.2 multiplier, module-level so fork-group tasks pickle."""
+    return mpc_multiply_subpermutation(cluster, left, right, config)
 
 
 def _merge_pair(
@@ -102,8 +113,9 @@ def mpc_lis_matrix(
     baselines plug their own multipliers in here).
     """
     if multiply_fn is None:
-        def multiply_fn(sub_cluster: MPCCluster, left: SubPermutation, right: SubPermutation) -> SubPermutation:
-            return mpc_multiply_subpermutation(sub_cluster, left, right, config)
+        # A partial of a module-level function (not a closure) so the process
+        # backend can ship merge tasks to worker processes.
+        multiply_fn = functools.partial(_default_merge_multiply, config=config)
 
     ranks = rank_transform(sequence, strict=strict)
     n = len(ranks)
@@ -140,16 +152,18 @@ def mpc_lis_matrix(
     cluster.stats.local_operations += n
 
     # --- merge phase: binary tree of O(1)-round merges -----------------------
+    # Every level is one parallel batch: the pairs are independent fork-groups
+    # that the execution backend runs concurrently (threads/processes), with
+    # max-rounds / sum-words parallel-composition accounting at the join.
     merge_levels = 0
     while len(blocks) > 1:
         merge_levels += 1
-        next_blocks: List[Tuple[SubPermutation, np.ndarray]] = []
         pairs = [(blocks[i], blocks[i + 1]) for i in range(0, len(blocks) - 1, 2)]
         leftovers = [blocks[-1]] if len(blocks) % 2 == 1 else []
-        children = cluster.fork(max(1, len(pairs)))
-        for child, (left, right) in zip(children, pairs):
-            next_blocks.append(_merge_pair(child, left, right, multiply_fn))
-        cluster.join(children, label=f"lis-level{merge_levels}")
+        next_blocks: List[Tuple[SubPermutation, np.ndarray]] = cluster.run_forked(
+            [(_merge_pair, (left, right, multiply_fn)) for left, right in pairs],
+            label=f"lis-level{merge_levels}",
+        )
         next_blocks.extend(leftovers)
         blocks = next_blocks
 

@@ -94,6 +94,25 @@ class ClusterStats:
         self.local_operations += sum(child.local_operations for child in children)
 
     # ---------------------------------------------------------------- queries
+    def fingerprint(self) -> tuple:
+        """A hashable digest of everything the accounting layer records.
+
+        Two executions of the same algorithm must produce equal fingerprints
+        regardless of the execution backend (serial/thread/process) — the
+        test-suite compares these to enforce that backends feed the
+        accounting layer identically, round by round.
+        """
+        return (
+            self.num_machines,
+            self.space_per_machine,
+            self.peak_machine_load,
+            self.local_operations,
+            tuple(
+                (record.label, record.words_communicated, record.max_machine_load, record.phase)
+                for record in self.rounds
+            ),
+        )
+
     @property
     def num_rounds(self) -> int:
         """Total number of communication rounds."""

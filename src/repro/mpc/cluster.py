@@ -11,23 +11,34 @@ cluster operation
   :class:`~repro.mpc.errors.SpaceExceededError` otherwise,
 * records the peak per-machine load for the scalability experiments.
 
-Local per-machine computation is executed with ordinary vectorised NumPy for
-speed — the simulator is *accounting-faithful* (rounds, communication, space
-and data placement follow the real algorithms) rather than a multi-process
-runtime, which is exactly what is needed to reproduce the paper's claims (the
-paper's results are statements about rounds and space, not wall-clock time of
-a particular cluster).
+The cluster is split into two layers (see :mod:`repro.mpc.engine`):
+
+* **accounting** — :class:`~repro.mpc.accounting.ClusterStats` plus the space
+  checks below.  Rounds and loads are always derived from deterministic
+  quantities (chunk sizes, word counts), so every backend feeds this layer
+  identically.
+* **execution** — a pluggable :class:`~repro.mpc.engine.ExecutionBackend`.
+  Primitives are phrased as *local phases* (per-machine chunk work, run
+  through ``backend.map_local`` and therefore parallelisable) stitched
+  together by *explicit exchange steps* (the communication the round charges
+  pay for).  The simulated data placement is the real data placement: no
+  primitive materialises the global array as an intermediate.
+  ``fork()``/``join()`` machine groups execute truly in parallel under the
+  thread/process backends via :meth:`MPCCluster.run_forked`.
+
+The paper's results are statements about rounds and space; the backends only
+change wall-clock behaviour, never any simulated quantity.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .accounting import ClusterStats
+from .engine import ExecutionBackend, GroupTask, resolve_backend
 from .errors import MachineCountError, SpaceExceededError
 
 __all__ = ["DistributedArray", "MPCCluster"]
@@ -40,6 +51,91 @@ ROUTE_ROUNDS = 1
 BROADCAST_ROUNDS_PER_LEVEL = 1
 PREFIX_SUM_ROUNDS_PER_LEVEL = 2
 RANK_SEARCH_ROUNDS = SORT_ROUNDS + PREFIX_SUM_ROUNDS_PER_LEVEL + ROUTE_ROUNDS
+
+
+# --------------------------------------------------------------------------
+# Local phases of the primitives.  Module-level (picklable) functions of one
+# machine's data, executed through ``backend.map_local`` — the execution
+# backend may run them concurrently, so they must not touch shared state.
+# --------------------------------------------------------------------------
+
+
+def _split_like(array: np.ndarray, sizes: Sequence[int]) -> List[np.ndarray]:
+    """Slice a flat array into consecutive chunks of the given sizes."""
+    bounds = np.cumsum([0] + list(sizes))
+    return [array[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
+
+
+def _local_sort_run(item: Tuple[np.ndarray, np.ndarray], index: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable-sort one machine's (values, keys) chunk by key."""
+    values, keys = item
+    order = np.argsort(keys, kind="stable")
+    return values[order], keys[order]
+
+
+def _local_bucket_by_destination(
+    item: Tuple[np.ndarray, np.ndarray, int], index: int
+) -> List[np.ndarray]:
+    """Split one machine's payload into per-destination segments (stable)."""
+    payload, destinations, num_machines = item
+    order = np.argsort(destinations, kind="stable")
+    sorted_payload = payload[order]
+    sorted_dest = destinations[order]
+    boundaries = np.searchsorted(sorted_dest, np.arange(num_machines + 1))
+    return [sorted_payload[boundaries[p] : boundaries[p + 1]] for p in range(num_machines)]
+
+
+def _local_bucket_pairs_by_destination(
+    item: Tuple[np.ndarray, np.ndarray, np.ndarray, int], index: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split one machine's (value, companion) pairs into per-destination
+    segments with a single stable bucketing pass."""
+    values, companions, destinations, num_machines = item
+    order = np.argsort(destinations, kind="stable")
+    sorted_values = values[order]
+    sorted_companions = companions[order]
+    sorted_dest = destinations[order]
+    boundaries = np.searchsorted(sorted_dest, np.arange(num_machines + 1))
+    return [
+        (
+            sorted_values[boundaries[p] : boundaries[p + 1]],
+            sorted_companions[boundaries[p] : boundaries[p + 1]],
+        )
+        for p in range(num_machines)
+    ]
+
+
+def _local_prefix_state(chunk: np.ndarray, index: int) -> Tuple[int, np.ndarray]:
+    """One machine's contribution to a prefix sum: (chunk total, local scan)."""
+    values = np.asarray(chunk, dtype=np.int64)
+    local = np.cumsum(values)
+    total = int(local[-1]) if len(local) else 0
+    return total, local
+
+
+def _local_prefix_finish(
+    item: Tuple[np.ndarray, np.ndarray, int, bool], index: int
+) -> np.ndarray:
+    """Apply the machine's global offset to its local scan."""
+    values, local_inclusive, offset, exclusive = item
+    inclusive = local_inclusive + offset
+    return inclusive - np.asarray(values, dtype=np.int64) if exclusive else inclusive
+
+
+def _local_scatter_inverse(
+    item: Tuple[int, int, np.ndarray, np.ndarray], index: int
+) -> np.ndarray:
+    """Place received (value, source-index) pairs of an inversion locally."""
+    size, base, values, sources = item
+    chunk = np.empty(size, dtype=np.int64)
+    chunk[values - base] = sources
+    return chunk
+
+
+def _local_rank_queries(item: Tuple[np.ndarray, np.ndarray], index: int) -> np.ndarray:
+    """Answer one machine's rank queries against the (broadcast) sorted data."""
+    sorted_data, queries = item
+    return np.searchsorted(sorted_data, queries, side="left")
 
 
 class DistributedArray:
@@ -69,14 +165,22 @@ class DistributedArray:
         return len(self.chunks)
 
     def to_array(self) -> np.ndarray:
-        """Materialise the logical array (driver-side view, free of charge)."""
+        """Materialise the logical array (driver-side view, free of charge).
+
+        This is a *read-only debugging/verification view*; the primitives
+        operate chunk-resident and never call it.
+        """
         if not self.chunks:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(self.chunks)
 
     def map_chunks(self, fn: Callable[[np.ndarray, int], np.ndarray], label: str = "map") -> "DistributedArray":
-        """Apply a local (per-machine) function to every chunk; no round cost."""
-        new_chunks = [fn(chunk, index) for index, chunk in enumerate(self.chunks)]
+        """Apply a local (per-machine) function to every chunk; no round cost.
+
+        The chunks are mapped through the cluster's execution backend, so
+        thread/process backends run the per-machine work concurrently.
+        """
+        new_chunks = self.cluster.backend.map_local(fn, self.chunks)
         self.cluster.stats.local_operations += self.total_size
         return DistributedArray(self.cluster, new_chunks, label=label)
 
@@ -109,6 +213,11 @@ class MPCCluster:
     strict_space:
         When false, space violations are recorded (peak load) but do not
         raise; used by the space-overhead ablation benchmark.
+    backend:
+        Execution backend: ``None``/``"serial"`` (default), ``"thread"``,
+        ``"process"`` or an :class:`~repro.mpc.engine.ExecutionBackend`
+        instance.  Backends change wall-clock behaviour only — accounting is
+        bit-identical across all of them.
     """
 
     def __init__(
@@ -121,6 +230,7 @@ class MPCCluster:
         space_slack: float = 2.0,
         polylog_exponent: float = 1.0,
         strict_space: bool = True,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         if not (0.0 < delta < 1.0):
             raise ValueError("delta must lie strictly between 0 and 1")
@@ -131,6 +241,7 @@ class MPCCluster:
         self.space_slack = float(space_slack)
         self.polylog_exponent = float(polylog_exponent)
         self.strict_space = bool(strict_space)
+        self.backend = resolve_backend(backend)
 
         if num_machines is None:
             num_machines = max(1, math.ceil(n ** delta))
@@ -145,6 +256,19 @@ class MPCCluster:
         self.stats = ClusterStats(
             num_machines=self.num_machines, space_per_machine=self.space_per_machine
         )
+
+    # -------------------------------------------------------------- pickling
+    # Backends are process-local (pools, executors); a pickled cluster always
+    # deserialises with the serial backend so worker processes never spawn
+    # nested pools.  Accounting state travels unchanged.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["backend"] = "serial"
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.backend = resolve_backend(state.get("backend"))
 
     # ------------------------------------------------------------------ misc
     @property
@@ -168,9 +292,16 @@ class MPCCluster:
     def charge_round(
         self, label: str, words: int, max_load: Optional[int] = None, phase: str = ""
     ) -> None:
-        """Explicitly charge one communication round (for composite steps)."""
+        """Explicitly charge one communication round (for composite steps).
+
+        ``max_load`` should be the true peak per-machine load of the round.
+        The default assumes the worst case — all words on one machine — so
+        call sites that know the real distribution must pass it explicitly;
+        an optimistic default clamped to the space budget would silently
+        under-report peak loads in the space ablations.
+        """
         if max_load is None:
-            max_load = min(words, self.space_per_machine)
+            max_load = words
         self._check_load(max_load, context=label)
         self.stats.record_round(label, words, max_load, phase=phase)
 
@@ -227,24 +358,44 @@ class MPCCluster:
         One round; the received chunks are ordered by source machine (stable).
         Returns the distributed array of payloads after routing (payload
         defaults to the array content itself).
+
+        Local phase: every machine buckets its own chunk by destination.
+        Exchange: destination ``p`` concatenates the segments addressed to it,
+        in source-machine order.
         """
-        values = payload if payload is not None else darr.to_array()
         destinations = np.asarray(destinations, dtype=np.int64)
-        if len(destinations) != len(values):
+        if len(destinations) != darr.total_size:
             raise ValueError("destinations must match the array length")
         if destinations.size and (
             destinations.min() < 0 or destinations.max() >= self.num_machines
         ):
             raise MachineCountError("destination machine index out of range")
-        order = np.argsort(destinations, kind="stable")
-        sorted_vals = values[order]
-        sorted_dest = destinations[order]
-        boundaries = np.searchsorted(sorted_dest, np.arange(self.num_machines + 1))
+        if payload is not None:
+            payload = np.asarray(payload)
+            if len(payload) != darr.total_size:
+                raise ValueError("payload must match the array length")
+            payload_chunks = _split_like(payload, darr.chunk_sizes)
+        else:
+            payload_chunks = darr.chunks
+        dest_chunks = _split_like(destinations, darr.chunk_sizes)
+
+        # Local phase: per-machine bucketing (stable within each machine).
+        buckets = self.backend.map_local(
+            _local_bucket_by_destination,
+            [
+                (payload_chunks[q], dest_chunks[q], self.num_machines)
+                for q in range(len(payload_chunks))
+            ],
+        )
+        # Exchange: one all-to-all round.
         chunks = [
-            sorted_vals[boundaries[p] : boundaries[p + 1]] for p in range(self.num_machines)
+            np.concatenate([bucket[p] for bucket in buckets])
+            if buckets
+            else np.empty(0, dtype=np.int64)
+            for p in range(self.num_machines)
         ]
         max_load = max((len(c) for c in chunks), default=0)
-        self.charge_round(label, words=len(values), max_load=max_load)
+        self.charge_round(label, words=len(destinations), max_load=max_load)
         return DistributedArray(self, chunks, label=label)
 
     def sort(
@@ -259,18 +410,41 @@ class MPCCluster:
         the per-machine regular samples, one to broadcast the splitters and
         one to route the data; the output is range-partitioned across the
         machines.
+
+        Local phase: every machine stable-sorts its own chunk.  Exchange: the
+        locally sorted runs are merged (this is the sample/splitter/route
+        communication the three rounds pay for) and the result is
+        range-partitioned into equal-size output chunks.
         """
-        values = darr.to_array()
-        keys = values if key is None else np.asarray(key)
-        if len(keys) != len(values):
-            raise ValueError("key must match the array length")
-        order = np.argsort(keys, kind="stable")
-        sorted_vals = values[order]
-        total = len(sorted_vals)
+        if key is None:
+            key_chunks = darr.chunks
+        else:
+            keys = np.asarray(key)
+            if len(keys) != darr.total_size:
+                raise ValueError("key must match the array length")
+            key_chunks = _split_like(keys, darr.chunk_sizes)
+
+        # Local phase: per-machine stable sorts.
+        runs = self.backend.map_local(
+            _local_sort_run, list(zip(darr.chunks, key_chunks))
+        )
+        # Exchange: merge the sorted runs.  Stable-sorting the concatenation
+        # of locally-stable runs breaks ties by (machine, original position),
+        # i.e. exactly the global stable order.
+        if runs:
+            run_values = np.concatenate([values for values, _ in runs])
+            run_keys = np.concatenate([keys_ for _, keys_ in runs])
+        else:
+            run_values = run_keys = np.empty(0, dtype=np.int64)
+        order = np.argsort(run_keys, kind="stable")
+        sorted_values = run_values[order]
+        total = len(sorted_values)
         bounds = self.partition_bounds(total)
-        chunks = [sorted_vals[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
+        chunks = [sorted_values[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
         max_load = max((len(c) for c in chunks), default=0)
-        # Round 1: every machine sends m regular samples to the coordinator.
+        # Round 1: every machine sends m regular samples; they are aggregated
+        # over the s-ary machine tree, so no machine ever holds more than its
+        # budget of samples (the tree fans in before the next level sends).
         sample_words = min(total, self.num_machines * self.num_machines)
         self.charge_round(f"{label}:sample", words=sample_words, max_load=min(sample_words, self.space_per_machine))
         # Round 2: the coordinator broadcasts the m-1 splitters.
@@ -282,12 +456,26 @@ class MPCCluster:
     def prefix_sum(
         self, darr: DistributedArray, label: str = "prefix_sum", exclusive: bool = True
     ) -> DistributedArray:
-        """Deterministic O(1)-round prefix sums (Lemma 2.4, [GSZ11])."""
-        values = darr.to_array().astype(np.int64)
-        totals = np.cumsum(values)
-        result = totals - values if exclusive else totals
-        bounds = np.cumsum([0] + darr.chunk_sizes)
-        chunks = [result[bounds[p] : bounds[p + 1]] for p in range(len(darr.chunks))]
+        """Deterministic O(1)-round prefix sums (Lemma 2.4, [GSZ11]).
+
+        Local phase 1: every machine scans its own chunk and reports one
+        total.  Exchange: the ``m`` chunk totals are scanned over the machine
+        tree (O(m) words — the only data that moves).  Local phase 2: every
+        machine offsets its local scan by its global prefix.
+        """
+        # Local phase 1: per-machine totals and local scans.
+        states = self.backend.map_local(_local_prefix_state, darr.chunks)
+        totals = np.array([total for total, _ in states], dtype=np.int64)
+        # Exchange: exclusive scan of the m chunk totals over the machine tree.
+        offsets = np.cumsum(totals) - totals
+        # Local phase 2: apply the offsets.
+        chunks = self.backend.map_local(
+            _local_prefix_finish,
+            [
+                (darr.chunks[p], states[p][1], int(offsets[p]), exclusive)
+                for p in range(len(darr.chunks))
+            ],
+        )
         depth = self.tree_depth()
         for _ in range(depth * PREFIX_SUM_ROUNDS_PER_LEVEL):
             self.charge_round(
@@ -298,13 +486,46 @@ class MPCCluster:
         return DistributedArray(self, chunks, label=label)
 
     def inverse_permutation(self, darr: DistributedArray, label: str = "inverse") -> DistributedArray:
-        """Invert a distributed permutation in one round (Lemma 2.3)."""
-        perm = darr.to_array()
-        n = len(perm)
-        inverse = np.empty(n, dtype=np.int64)
-        inverse[perm] = np.arange(n, dtype=np.int64)
+        """Invert a distributed permutation in one round (Lemma 2.3).
+
+        Local phase: every machine addresses each of its entries ``(i, π(i))``
+        to the machine owning position ``π(i)`` of the output.  Exchange: one
+        all-to-all round.  Local phase 2: each machine scatters the received
+        pairs into its output chunk.
+        """
+        n = darr.total_size
         bounds = self.partition_bounds(n)
-        chunks = [inverse[bounds[p] : bounds[p + 1]] for p in range(self.num_machines)]
+        chunk_starts = np.cumsum([0] + darr.chunk_sizes)
+
+        # Local phase: bucket (value, source index) pairs by target machine
+        # in one pass per chunk.
+        buckets = self.backend.map_local(
+            _local_bucket_pairs_by_destination,
+            [
+                (
+                    darr.chunks[q],
+                    np.arange(chunk_starts[q], chunk_starts[q + 1], dtype=np.int64),
+                    np.searchsorted(bounds, darr.chunks[q], side="right") - 1,
+                    self.num_machines,
+                )
+                for q in range(len(darr.chunks))
+            ],
+        )
+        # Exchange + local scatter.
+        received = [
+            (
+                int(bounds[p + 1] - bounds[p]),
+                int(bounds[p]),
+                np.concatenate([bucket[p][0] for bucket in buckets])
+                if buckets
+                else np.empty(0, dtype=np.int64),
+                np.concatenate([bucket[p][1] for bucket in buckets])
+                if buckets
+                else np.empty(0, dtype=np.int64),
+            )
+            for p in range(self.num_machines)
+        ]
+        chunks = self.backend.map_local(_local_scatter_inverse, received)
         max_load = max((len(c) for c in chunks), default=0)
         self.charge_round(label, words=n, max_load=max_load)
         return DistributedArray(self, chunks, label=label)
@@ -319,13 +540,23 @@ class MPCCluster:
 
         Sort data and queries together, prefix-sum the indicator of data
         elements, and route the answers back to the queries' home machines.
+
+        Exchange: the per-machine data chunks are merged into the sorted
+        order (the simulator performs the sample-sort merge as one driver
+        sort of the concatenated chunks — ranks only need the sorted
+        multiset, so a per-machine pre-sort would be redundant work).  Local
+        phase: every machine answers its own queries against that order.
         """
-        data_values = data.to_array()
-        query_values = queries.to_array()
-        answers = np.searchsorted(np.sort(data_values), query_values, side="left")
-        bounds = np.cumsum([0] + queries.chunk_sizes)
-        chunks = [answers[bounds[p] : bounds[p + 1]] for p in range(len(queries.chunks))]
-        total = len(data_values) + len(query_values)
+        sorted_data = (
+            np.sort(np.concatenate(data.chunks))
+            if data.chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        # Local phase: each machine answers its own query chunk.
+        chunks = self.backend.map_local(
+            _local_rank_queries, [(sorted_data, chunk) for chunk in queries.chunks]
+        )
+        total = data.total_size + queries.total_size
         max_load = max(
             max(data.chunk_sizes, default=0) + max(queries.chunk_sizes, default=0),
             math.ceil(total / self.num_machines),
@@ -334,7 +565,7 @@ class MPCCluster:
             self.charge_round(f"{label}:sort", words=total, max_load=max_load)
         for _ in range(PREFIX_SUM_ROUNDS_PER_LEVEL * self.tree_depth()):
             self.charge_round(f"{label}:prefix", words=self.num_machines, max_load=max_load)
-        self.charge_round(f"{label}:return", words=len(query_values), max_load=max_load)
+        self.charge_round(f"{label}:return", words=queries.total_size, max_load=max_load)
         return DistributedArray(self, chunks, label=label)
 
     # ------------------------------------------------------------------- fork
@@ -342,9 +573,11 @@ class MPCCluster:
         """Split the cluster into ``groups`` sub-clusters that run in parallel.
 
         Machines are divided as evenly as possible (at least one machine per
-        group); the sub-clusters keep the same per-machine space budget.  Use
-        :meth:`join` afterwards to absorb their statistics with max-round
-        (parallel composition) semantics.
+        group); the sub-clusters keep the same per-machine space budget and
+        inherit the parent's execution backend.  Use :meth:`join` afterwards
+        to absorb their statistics with max-round (parallel composition)
+        semantics — or :meth:`run_forked`, which forks, executes the group
+        tasks on the backend (concurrently for thread/process) and joins.
         """
         groups = max(1, int(groups))
         per_group = [
@@ -361,6 +594,7 @@ class MPCCluster:
                 space_slack=self.space_slack,
                 polylog_exponent=self.polylog_exponent,
                 strict_space=self.strict_space,
+                backend=self.backend,
             )
             children.append(child)
         return children
@@ -368,3 +602,23 @@ class MPCCluster:
     def join(self, children: List["MPCCluster"], label: str = "parallel") -> None:
         """Absorb the statistics of sub-clusters created by :meth:`fork`."""
         self.stats.absorb_parallel([child.stats for child in children], label=label)
+
+    def run_forked(self, tasks: Sequence[GroupTask], label: str = "fork") -> List[Any]:
+        """Fork one sub-cluster per task, run the tasks, join the statistics.
+
+        ``tasks`` is a sequence of ``(fn, args)`` or ``(fn, args, kwargs)``
+        tuples; each is invoked as ``fn(child_cluster, *args, **kwargs)``.
+        The execution backend runs the tasks (concurrently under the
+        thread/process backends; for the process backend ``fn`` and its
+        arguments must be picklable — unpicklable tasks fall back to
+        in-process execution).  Results are returned in task order and the
+        children's statistics are absorbed with parallel-composition
+        semantics, so accounting is identical across backends.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        children = self.fork(len(tasks), label=label)
+        results = self.backend.run_group_tasks(children, tasks)
+        self.join(children, label=label)
+        return results

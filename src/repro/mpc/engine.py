@@ -1,0 +1,285 @@
+"""Pluggable execution backends for the MPC simulator.
+
+The cluster in :mod:`repro.mpc.cluster` is split into two layers:
+
+* an **accounting layer** (:class:`~repro.mpc.accounting.ClusterStats`, the
+  space checks) that records rounds, words and per-machine loads, and
+* an **execution layer** — one of the backends below — that actually runs the
+  per-machine local work and the independent ``fork()`` sub-cluster
+  recursions.
+
+The contract that keeps the two layers independent (and that the test-suite
+enforces) is:
+
+1. **Backends never touch accounting.**  Rounds and loads are charged by the
+   driver from deterministic quantities (chunk sizes, word counts), never
+   from anything that depends on scheduling, thread timing or process
+   placement.
+2. **Backends are order-preserving.**  ``map_local`` returns results in
+   machine order and ``run_group_tasks`` returns results in task order, so
+   every backend produces bit-identical data placement and bit-identical
+   :class:`ClusterStats` — the parallel backends only change *wall-clock*
+   behaviour.
+3. **Backends are process-local.**  A pickled :class:`MPCCluster` always
+   deserialises with the serial backend: worker processes of the
+   :class:`ProcessBackend` (and of the experiment runner's ``--workers``
+   fan-out) must not recursively spawn pools of their own.
+
+``SerialBackend`` reproduces the historical eager driver-side execution.
+``ThreadBackend`` runs local work and fork-groups on a thread pool (NumPy
+releases the GIL for the heavy kernels).  ``ProcessBackend`` ships whole
+fork-group tasks to worker processes and merges the child cluster statistics
+back into the parent — tasks must be picklable (module-level functions with
+picklable arguments); unpicklable tasks transparently fall back to in-process
+execution so exotic callers (e.g. closure-based multipliers) keep working.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "GroupTask",
+    "resolve_backend",
+    "backend_names",
+    "DEFAULT_BACKEND",
+]
+
+#: One unit of forked work: ``fn(child_cluster, *args, **kwargs)``.
+GroupTask = Tuple[Callable[..., Any], tuple, dict]
+
+
+def _default_workers() -> int:
+    """Worker count used when a backend is built without an explicit one.
+
+    At least 2, so the parallel machinery genuinely engages (and is tested)
+    even on single-core containers; on real hardware it follows the core
+    count.
+    """
+    return max(2, os.cpu_count() or 1)
+
+
+def normalize_tasks(tasks: Sequence[Union[GroupTask, Tuple[Callable[..., Any], tuple]]]) -> List[GroupTask]:
+    """Accept ``(fn, args)`` or ``(fn, args, kwargs)`` tuples."""
+    normalized: List[GroupTask] = []
+    for task in tasks:
+        if len(task) == 2:
+            fn, args = task  # type: ignore[misc]
+            normalized.append((fn, tuple(args), {}))
+        else:
+            fn, args, kwargs = task  # type: ignore[misc]
+            normalized.append((fn, tuple(args), dict(kwargs)))
+    return normalized
+
+
+class ExecutionBackend:
+    """Protocol/base class of the execution layer.
+
+    ``name``
+        Stable identifier (``"serial"``, ``"thread"``, ``"process"``); this is
+        what spec parameters, artifacts and the CLI ``--backend`` flag carry.
+    ``map_local(fn, items)``
+        Per-machine local computation: ``[fn(item, index) for index, item]``,
+        results in machine order.  No accounting happens here — the caller
+        charges rounds/loads from the inputs and outputs.
+    ``run_group_tasks(children, tasks)``
+        Execute one task per forked sub-cluster; after the call every child's
+        ``stats`` reflects the work its task charged, and the returned results
+        are in task order.
+    """
+
+    name: str = "abstract"
+
+    def map_local(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
+        raise NotImplementedError
+
+    def run_group_tasks(self, children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def _run_tasks_inline(children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
+    return [fn(child, *args, **kwargs) for child, (fn, args, kwargs) in zip(children, tasks)]
+
+
+class SerialBackend(ExecutionBackend):
+    """The historical semantics: everything runs eagerly on the driver."""
+
+    name = "serial"
+
+    def map_local(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item, index) for index, item in enumerate(items)]
+
+    def run_group_tasks(self, children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
+        return _run_tasks_inline(children, normalize_tasks(tasks))
+
+
+def _item_weight(items: Sequence[Any]) -> int:
+    """Rough element count of a map_local input (chunk arrays or tuples of them)."""
+    total = 0
+    for item in items:
+        try:
+            total += len(item[0]) if isinstance(item, tuple) else len(item)
+        except TypeError:
+            total += 1
+    return total
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution of local work and fork-group tasks.
+
+    Each call builds its own short-lived executor, so nested fork-groups (the
+    §3 recursion forks inside forked subtrees) cannot deadlock on a shared
+    pool.  ``min_parallel_items`` keeps tiny local maps inline — threading a
+    handful of 100-element chunks costs more than it saves.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None, min_parallel_items: int = 4096) -> None:
+        self.max_workers = int(max_workers) if max_workers is not None else _default_workers()
+        self.min_parallel_items = int(min_parallel_items)
+
+    def map_local(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
+        workers = min(self.max_workers, len(items))
+        if workers <= 1 or _item_weight(items) < self.min_parallel_items:
+            return [fn(item, index) for index, item in enumerate(items)]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [executor.submit(fn, item, index) for index, item in enumerate(items)]
+            return [future.result() for future in futures]
+
+    def run_group_tasks(self, children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
+        tasks = normalize_tasks(tasks)
+        workers = min(self.max_workers, len(tasks))
+        if workers <= 1:
+            return _run_tasks_inline(children, tasks)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(fn, child, *args, **kwargs)
+                for child, (fn, args, kwargs) in zip(children, tasks)
+            ]
+            return [future.result() for future in futures]
+
+
+def _run_pickled_group_task(payload: bytes) -> Tuple[Any, Any]:
+    """Worker-side entry point: run one fork-group task, return (result, stats).
+
+    The child cluster arrives with the serial backend (pickling downgrades
+    backends, see :meth:`MPCCluster.__getstate__`), so nested fork-groups
+    inside the task run inline — worker processes never spawn pools.
+    """
+    child, fn, args, kwargs = pickle.loads(payload)
+    result = fn(child, *args, **kwargs)
+    return result, child.stats
+
+
+def _in_daemonic_process() -> bool:
+    """Whether we are inside a daemonic worker (which cannot spawn pools).
+
+    This happens when a process backend ends up executing *inside* a worker —
+    e.g. the experiment runner's ``--workers`` fan-out constructs clusters
+    with ``backend="process"`` from the shipped fixed params, or an algorithm
+    re-applies ``MongeMPCConfig.backend`` on a worker-side cluster.  Pool
+    workers are daemonic, so spawning a nested pool would raise; these cases
+    must run inline instead (correctness and accounting are unaffected).
+    """
+    import multiprocessing
+
+    return bool(multiprocessing.current_process().daemon)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution of fork-group tasks.
+
+    Whole sub-cluster tasks (e.g. one branch of the §3 recursion, one
+    merge-tree pair of Theorem 1.3) are pickled to worker processes; the
+    mutated child :class:`ClusterStats` travels back with the result and
+    replaces the parent-side child stats, so ``join()`` sees exactly what a
+    serial run would have seen.  Fork-group tasks are the coarse-grained unit
+    where process parallelism pays for its serialization; per-machine
+    ``map_local`` work runs inline — shipping per-chunk NumPy inputs (and
+    broadcast data like the sorted array of a rank search) across process
+    boundaries costs more than the vectorised local work itself.  Use the
+    thread backend for concurrent local phases.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = int(max_workers) if max_workers is not None else _default_workers()
+
+    def _context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def map_local(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item, index) for index, item in enumerate(items)]
+
+    def run_group_tasks(self, children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
+        tasks = normalize_tasks(tasks)
+        workers = min(self.max_workers, len(tasks))
+        if workers <= 1 or _in_daemonic_process():
+            return _run_tasks_inline(children, tasks)
+        try:
+            payloads = [
+                pickle.dumps((child, fn, args, kwargs))
+                for child, (fn, args, kwargs) in zip(children, tasks)
+            ]
+        except Exception:
+            # Unpicklable task (closure-based multiply_fn, ad-hoc lambdas):
+            # run in-process — correctness and accounting are unaffected.
+            return _run_tasks_inline(children, tasks)
+        with self._context().Pool(processes=workers) as pool:
+            outcomes = pool.map(_run_pickled_group_task, payloads, chunksize=1)
+        results: List[Any] = []
+        for child, (result, stats) in zip(children, outcomes):
+            child.stats = stats
+            results.append(result)
+        return results
+
+
+#: Name of the backend used when none is requested.
+DEFAULT_BACKEND = "serial"
+
+_BACKEND_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def backend_names() -> List[str]:
+    """The selectable backend names (CLI ``--backend`` choices)."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def resolve_backend(backend: Union[None, str, ExecutionBackend]) -> ExecutionBackend:
+    """Turn ``None`` / a name / an instance into an :class:`ExecutionBackend`."""
+    if backend is None:
+        return _BACKEND_FACTORIES[DEFAULT_BACKEND]()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        try:
+            return _BACKEND_FACTORIES[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown execution backend {backend!r}; available: {backend_names()}"
+            ) from None
+    raise TypeError(f"backend must be None, a name or an ExecutionBackend, got {type(backend).__name__}")

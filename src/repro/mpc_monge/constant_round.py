@@ -24,6 +24,7 @@ sequential and dense implementations by the test-suite).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -38,6 +39,7 @@ from ..core.seaweed import (
     split_into_blocks,
 )
 from ..mpc.cluster import MPCCluster, RANK_SEARCH_ROUNDS, SORT_ROUNDS
+from ..mpc.engine import resolve_backend
 from ..mpc.errors import SpaceExceededError
 from .common import SubgridInstance, grid_corners
 
@@ -96,6 +98,12 @@ class MongeMPCConfig:
     local_threshold: Optional[int] = None
     #: Base size handed to the sequential solver for local subproblems.
     sequential_base_size: int = 64
+    #: Execution backend name (``"serial"``/``"thread"``/``"process"``) used
+    #: for the duration of a top-level multiplication call (the cluster's own
+    #: backend is restored afterwards).  ``None`` keeps whatever backend the
+    #: cluster was constructed with.  Backends change wall-clock behaviour
+    #: only — rounds, communication and loads are bit-identical.
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -112,6 +120,18 @@ class _CombineReport:
 
 def _resolve(config: Optional[MongeMPCConfig]) -> MongeMPCConfig:
     return config if config is not None else MongeMPCConfig()
+
+
+def _recurse_task(
+    child: MPCCluster,
+    a_blk: Permutation,
+    b_blk: Permutation,
+    config: MongeMPCConfig,
+    depth: int,
+) -> Permutation:
+    """One fork-group branch of the §3 recursion (module-level so the process
+    backend can ship it to a worker)."""
+    return mpc_multiply(child, a_blk, b_blk, config, _depth=depth)
 
 
 def mpc_multiply(
@@ -133,6 +153,18 @@ def mpc_multiply(
     n = pa.size
     if pb.size != n:
         raise ValueError("operands must have equal size")
+    if _depth == 0 and config.backend is not None:
+        # Scope the backend override to this call: swap it in, recurse with a
+        # backend-free config (children inherit the cluster backend at fork
+        # time), and restore the caller's backend afterwards.
+        original_backend = cluster.backend
+        cluster.backend = resolve_backend(config.backend)
+        try:
+            return mpc_multiply(
+                cluster, pa, pb, dataclasses.replace(config, backend=None), _depth=0
+            )
+        finally:
+            cluster.backend = original_backend
     phase = f"level{_depth}"
     local_threshold = (
         config.local_threshold
@@ -170,11 +202,16 @@ def mpc_multiply(
     split = split_into_blocks(pa, pb, fanin)
 
     # --------------------------------------------------------------- recurse
-    children = cluster.fork(fanin)
-    results: List[Permutation] = []
-    for child, a_blk, b_blk in zip(children, split.a_blocks, split.b_blocks):
-        results.append(mpc_multiply(child, a_blk, b_blk, config, _depth=_depth + 1))
-    cluster.join(children, label=f"recurse@{phase}")
+    # The H compacted subproblems compose in parallel machine groups; the
+    # execution backend runs them concurrently (threads/processes) while the
+    # join keeps the max-rounds / sum-words parallel accounting.
+    results: List[Permutation] = cluster.run_forked(
+        [
+            (_recurse_task, (a_blk, b_blk, config, _depth + 1))
+            for a_blk, b_blk in zip(split.a_blocks, split.b_blocks)
+        ],
+        label=f"recurse@{phase}",
+    )
 
     # --------------------------------------------------------------- combine
     rows, cols, colors = expand_block_results(results, split)

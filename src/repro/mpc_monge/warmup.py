@@ -27,6 +27,7 @@ def warmup_config(base: Optional[MongeMPCConfig] = None) -> MongeMPCConfig:
         grid_size=base.grid_size,
         local_threshold=base.local_threshold,
         sequential_base_size=base.sequential_base_size,
+        backend=base.backend,
     )
 
 

@@ -21,6 +21,9 @@ __all__ = [
     "decreasing_sequence",
     "near_sorted_sequence",
     "duplicate_heavy_sequence",
+    "zipfian_sequence",
+    "block_sorted_noisy_sequence",
+    "adversarial_alternating_sequence",
     "random_string_pair",
     "correlated_string_pair",
 ]
@@ -90,6 +93,62 @@ def near_sorted_sequence(n: int, swaps: int, seed: Optional[int] = None) -> np.n
 def duplicate_heavy_sequence(n: int, alphabet: int, seed: Optional[int] = None) -> np.ndarray:
     """A sequence with many repeated values (tests the tie-breaking paths)."""
     return _rng(seed).integers(0, max(1, alphabet), size=n).astype(np.int64)
+
+
+def zipfian_sequence(n: int, alpha: float = 1.5, seed: Optional[int] = None) -> np.ndarray:
+    """Values drawn from a Zipf law (heavy duplication of a few small values).
+
+    Skewed value frequencies stress the tie-breaking and compaction paths the
+    same way skewed keys stress real shuffles; values are capped at ``n`` so
+    the rank universe stays bounded.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a Zipf law")
+    draws = _rng(seed).zipf(alpha, size=n).astype(np.int64)
+    return np.minimum(draws, n)
+
+
+def block_sorted_noisy_sequence(
+    n: int, num_blocks: int, noise: float = 0.05, seed: Optional[int] = None
+) -> np.ndarray:
+    """Ascending runs (sorted blocks) perturbed by random transpositions.
+
+    Realistic "almost pre-sorted shards" input: the value range is cut into
+    ``num_blocks`` contiguous ranges, the ranges are concatenated in a random
+    order (each internally ascending), and ``noise * n`` random pair swaps
+    are applied across the whole sequence.
+    """
+    rng = _rng(seed)
+    num_blocks = max(1, int(num_blocks))
+    bounds = np.linspace(0, n, num_blocks + 1).round().astype(np.int64)
+    order = rng.permutation(num_blocks)
+    out = np.concatenate(
+        [np.arange(bounds[b], bounds[b + 1], dtype=np.int64) for b in order]
+    )
+    swaps = int(max(0.0, noise) * n)
+    if swaps:
+        left = rng.integers(0, n, size=swaps)
+        right = rng.integers(0, n, size=swaps)
+        for i, j in zip(left, right):
+            out[i], out[j] = out[j], out[i]
+    return out
+
+
+def adversarial_alternating_sequence(n: int, seed: Optional[int] = None) -> np.ndarray:
+    """A low/high alternation: ``0, n-1, 1, n-2, 2, ...`` (LIS = ⌊n/2⌋ + 1
+    for ``n ≥ 2``: the low run plus one high element).
+
+    The sequence zig-zags between the slowly rising low run and the slowly
+    falling high run, so every element is followed by a jump across the value
+    range and divide-and-conquer combines see cross-boundary interactions at
+    every level; the seed is accepted (registry convention) but unused — the
+    sequence is deterministic.
+    """
+    out = np.empty(n, dtype=np.int64)
+    half = (n + 1) // 2
+    out[0::2] = np.arange(half, dtype=np.int64)
+    out[1::2] = np.arange(n - 1, half - 1, -1, dtype=np.int64)[: n // 2]
+    return out
 
 
 def random_string_pair(

@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from .generators import (
+    adversarial_alternating_sequence,
+    block_sorted_noisy_sequence,
     block_sorted_sequence,
     correlated_string_pair,
     decreasing_sequence,
@@ -25,6 +27,7 @@ from .generators import (
     planted_lis_sequence,
     random_permutation_sequence,
     random_string_pair,
+    zipfian_sequence,
 )
 
 __all__ = [
@@ -62,6 +65,25 @@ def _duplicate_heavy(n: int, seed: Optional[int] = None, *, alphabet: Optional[i
     return duplicate_heavy_sequence(n, alphabet if alphabet is not None else max(2, n // 16), seed=seed)
 
 
+def _zipfian(n: int, seed: Optional[int] = None, *, alpha: Optional[float] = None) -> np.ndarray:
+    return zipfian_sequence(n, alpha if alpha is not None else 1.5, seed=seed)
+
+
+def _block_sorted_noisy(
+    n: int,
+    seed: Optional[int] = None,
+    *,
+    num_blocks: Optional[int] = None,
+    noise: Optional[float] = None,
+) -> np.ndarray:
+    return block_sorted_noisy_sequence(
+        n,
+        num_blocks if num_blocks is not None else max(1, int(math.isqrt(n))),
+        noise if noise is not None else 0.05,
+        seed=seed,
+    )
+
+
 _SEQUENCE_WORKLOADS: Dict[str, SequenceWorkload] = {
     "random": random_permutation_sequence,
     "planted": _planted,
@@ -69,6 +91,9 @@ _SEQUENCE_WORKLOADS: Dict[str, SequenceWorkload] = {
     "decreasing": _decreasing,
     "near_sorted": _near_sorted,
     "duplicate_heavy": _duplicate_heavy,
+    "zipfian": _zipfian,
+    "block_sorted_noisy": _block_sorted_noisy,
+    "adversarial_alternating": adversarial_alternating_sequence,
 }
 
 

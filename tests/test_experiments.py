@@ -46,6 +46,7 @@ def test_registry_has_all_builtin_experiments():
         "communication",
         "fanin_ablation",
         "space_overhead",
+        "backend_wallclock",
     ):
         assert expected in names
 
