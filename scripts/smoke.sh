@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # One-command smoke check: tier-1 tests, a quick CLI experiment run (serial
-# and process execution backends), and artifact validation.  Intended as the
-# CI entry point.
+# and process execution backends), a serving batch-mode smoke (build ->
+# cached re-query -> artifact validate), and schema validation of every
+# artifact — the freshly written ones and everything recorded under
+# results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 ARTIFACT="${1:-/tmp/repro-smoke-table1.json}"
 BACKEND_ARTIFACT="${2:-/tmp/repro-smoke-lis-process.json}"
+SERVE_ARTIFACT="${3:-/tmp/repro-smoke-serve.json}"
+SERVICE_ARTIFACT="${4:-/tmp/repro-smoke-service-throughput.json}"
 
 echo "== tier-1 test-suite =="
 python -m pytest -x -q
@@ -25,9 +29,23 @@ echo "== quick lis_rounds run on the process execution backend -> ${BACKEND_ARTI
 python -m repro run lis_rounds --quick --backend process --json "${BACKEND_ARTIFACT}"
 
 echo
-echo "== artifact schema validation =="
+echo "== quick service_throughput run (serial/thread/process grid) -> ${SERVICE_ARTIFACT} =="
+python -m repro run service_throughput --quick --json "${SERVICE_ARTIFACT}"
+
+echo
+echo "== serve batch mode: build, cached re-query -> ${SERVE_ARTIFACT} =="
+python -m repro serve --requests examples/service_requests.json --repeat 2 \
+    --artifact "${SERVE_ARTIFACT}"
+
+echo
+echo "== artifact schema validation (fresh runs + everything in results/) =="
 python -m repro validate "${ARTIFACT}"
 python -m repro validate "${BACKEND_ARTIFACT}"
+python -m repro validate "${SERVICE_ARTIFACT}"
+python -m repro validate "${SERVE_ARTIFACT}"
+for recorded in results/*.json; do
+    python -m repro validate "${recorded}"
+done
 
 echo
 echo "smoke: OK"

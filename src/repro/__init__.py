@@ -15,13 +15,16 @@ Public API highlights
 * :mod:`repro.baselines` — prior-work comparators used to reproduce Table 1.
 * :mod:`repro.workloads` / :mod:`repro.analysis` — input generators and
   round-complexity predictions / report formatting for the benchmark harness.
+* :mod:`repro.service` — the batched query-serving subsystem (fingerprinted
+  semi-local indexes, a byte-budgeted LRU cache with disk spill, and the
+  ``QueryService`` behind ``python -m repro serve``).
 * :mod:`repro.experiments` — the declarative experiment registry, runner and
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analysis, baselines, core, experiments, lcs, lis, mpc, mpc_monge, workloads
+from . import analysis, baselines, core, experiments, lcs, lis, mpc, mpc_monge, service, workloads
 
 __all__ = [
     "analysis",
@@ -32,6 +35,7 @@ __all__ = [
     "lis",
     "mpc",
     "mpc_monge",
+    "service",
     "workloads",
     "__version__",
 ]

@@ -2,7 +2,7 @@
 
 from .report import format_block, format_cell, format_series, format_summary, format_table
 from .rounds import TABLE1_PROFILES, AlgorithmProfile, predicted_rounds, recursion_depth
-from .serialize import stats_summary, stats_to_dict, to_jsonable
+from .serialize import stats_summary, stats_to_dict, to_jsonable, weighted_checksum
 
 __all__ = [
     "format_block",
@@ -17,4 +17,5 @@ __all__ = [
     "stats_summary",
     "stats_to_dict",
     "to_jsonable",
+    "weighted_checksum",
 ]

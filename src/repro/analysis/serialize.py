@@ -15,7 +15,21 @@ import numpy as np
 
 from ..mpc.accounting import ClusterStats
 
-__all__ = ["to_jsonable", "stats_summary", "stats_to_dict"]
+__all__ = ["to_jsonable", "stats_summary", "stats_to_dict", "weighted_checksum"]
+
+
+def weighted_checksum(values) -> int:
+    """Order-sensitive digest of an integer array: ``Σ v[k]·(k+1) mod 2^61-1``.
+
+    Cheap enough to compute inline, order-sensitive so permuted results do
+    not collide, and shared by every artifact that compares result identity
+    (backend invariance checks) — the three call sites must stay comparable,
+    so the formula lives here exactly once.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size == 0:
+        return 0
+    return int((arr * (np.arange(arr.size, dtype=np.int64) + 1)).sum() % (2**61 - 1))
 
 
 def to_jsonable(value: Any) -> Any:

@@ -73,6 +73,11 @@ class _PrefixRankTree:
             bit += 1
         self._levels = levels
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the level arrays (cache-budget accounting)."""
+        return sum(level.nbytes for level in self._levels)
+
     def prefix_count_less(self, prefix_len: np.ndarray, threshold: np.ndarray) -> np.ndarray:
         """For each query b: ``#{k < prefix_len[b] : values[k] < threshold[b]}``."""
         prefix_len = np.asarray(prefix_len, dtype=np.int64)
@@ -161,6 +166,25 @@ class ColoredPointSet:
             self._by_color_cols_rowsorted.append(color_cols)
             self._by_color_cols_sorted.append(np.sort(color_cols))
             self._by_color_rank_tree.append(_PrefixRankTree(color_cols, n_cols))
+
+    # ------------------------------------------------------------------ memory
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the point arrays plus the query acceleration
+        structures (dense tables or the per-color rank trees).
+
+        Used by the service-layer index cache to enforce its byte budget, so
+        it must reflect what actually stays alive after construction.
+        """
+        total = self.rows.nbytes + self.cols.nbytes + self.colors.nbytes
+        if self._dense_tables is not None:
+            return total + self._dense_tables.nbytes
+        for x in range(self.num_colors):
+            total += self._by_color_rows[x].nbytes
+            total += self._by_color_cols_rowsorted[x].nbytes
+            total += self._by_color_cols_sorted[x].nbytes
+            total += self._by_color_rank_tree[x].nbytes
+        return total
 
     # ------------------------------------------------------------------ counts
     def row_suffix_counts(self, i: np.ndarray) -> np.ndarray:

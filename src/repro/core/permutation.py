@@ -203,6 +203,38 @@ class SubPermutation:
         rows, cols = self.points()
         return int(np.count_nonzero((rows >= i) & (cols < j)))
 
+    # ------------------------------------------------------------ persistence
+    def npz_payload(self, prefix: str = "") -> dict:
+        """The arrays that fully describe this matrix, keyed for ``np.savez``.
+
+        ``prefix`` namespaces the keys so callers can embed the payload inside
+        a larger ``.npz`` archive (the service index cache does this).
+        """
+        return {
+            f"{prefix}row_to_col": self._row_to_col,
+            f"{prefix}n_cols": np.asarray(self._n_cols, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_npz_payload(cls, payload, prefix: str = "") -> "SubPermutation":
+        """Rebuild a matrix from :meth:`npz_payload` arrays (inverse op)."""
+        try:
+            row_to_col = payload[f"{prefix}row_to_col"]
+            n_cols = payload[f"{prefix}n_cols"]
+        except KeyError as exc:
+            raise ValueError(f"npz payload is missing sub-permutation key {exc}") from None
+        return cls(np.asarray(row_to_col, dtype=np.int64), n_cols=int(n_cols), validate=True)
+
+    def save_npz(self, path: str) -> None:
+        """Persist the matrix to a compressed ``.npz`` file."""
+        np.savez_compressed(path, **self.npz_payload())
+
+    @classmethod
+    def load_npz(cls, path: str) -> "SubPermutation":
+        """Load a matrix written by :meth:`save_npz` (validates on load)."""
+        with np.load(path) as payload:
+            return cls.from_npz_payload(payload)
+
     # ----------------------------------------------------------- construction
     @classmethod
     def from_points(

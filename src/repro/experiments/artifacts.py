@@ -50,6 +50,7 @@ __all__ = [
     "ArtifactError",
     "result_to_artifact",
     "write_artifact",
+    "write_document",
     "load_artifact",
     "validate_artifact",
 ]
@@ -92,15 +93,24 @@ def result_to_artifact(result: ExperimentResult) -> Dict[str, Any]:
     }
 
 
-def write_artifact(result: ExperimentResult, path: str) -> Dict[str, Any]:
-    """Validate and write the artifact for ``result`` to ``path``."""
-    document = result_to_artifact(result)
+def write_document(document: Dict[str, Any], path: str) -> None:
+    """Validate and persist one artifact document (the single on-disk format).
+
+    Every artifact writer goes through here so the byte format (indentation,
+    key order, trailing newline) is identical across ``run`` and ``serve``.
+    """
     validate_artifact(document)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def write_artifact(result: ExperimentResult, path: str) -> Dict[str, Any]:
+    """Validate and write the artifact for ``result`` to ``path``."""
+    document = result_to_artifact(result)
+    write_document(document, path)
     return document
 
 

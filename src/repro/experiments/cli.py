@@ -8,6 +8,11 @@ Subcommands
     Execute an experiment's grid, print its text table and optionally write
     the versioned JSON artifact (``--json [PATH]``, default
     ``results/<spec>.json``).
+``serve``
+    Answer a batch of semi-local queries from a JSON request file through
+    the :mod:`repro.service` subsystem (index cache + batched execution);
+    ``--repeat`` re-submits the batch to demonstrate cache amortisation and
+    ``--artifact`` records the outcome as a schema-v1 document.
 ``validate <path>``
     Check an artifact file against the schema (exit 1 on failure).
 
@@ -19,6 +24,7 @@ Examples
     $ python -m repro run table1 --json results/table1.json
     $ python -m repro run table1 --quick --workers 4 --set delta=0.5
     $ python -m repro run lis_rounds --quick --backend process
+    $ python -m repro serve --requests examples/service_requests.json --repeat 2
     $ python -m repro validate results/table1.json
 """
 
@@ -26,14 +32,28 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.report import format_block, format_table
 from ..mpc.engine import backend_names
-from .artifacts import ArtifactError, load_artifact, write_artifact
-from .runner import run_experiment
-from .spec import all_specs, expand_grid, get_spec
+from ..service import (
+    DEFAULT_CACHE_BYTES,
+    IndexCache,
+    QueryService,
+    parse_requests_document,
+)
+from .artifacts import (
+    ArtifactError,
+    load_artifact,
+    result_to_artifact,
+    write_artifact,
+    write_document,
+)
+from .runner import ExperimentResult, run_experiment
+from .spec import ExperimentSpec, PointResult, all_specs, expand_grid, get_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -104,6 +124,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a swept grid parameter (repeatable)",
     )
     run_parser.add_argument("--no-checks", action="store_true", help="skip the cross-point consistency checks")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="answer a batch of semi-local queries from a JSON request file",
+    )
+    serve_parser.add_argument(
+        "--requests", required=True, metavar="PATH", help="JSON batch document (schema repro.service.requests)"
+    )
+    serve_parser.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="write the serving outcome as a schema-v1 experiment artifact",
+    )
+    serve_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="K",
+        help="submit the batch K times (re-submissions hit the index cache)",
+    )
+    serve_parser.add_argument(
+        "--mode",
+        choices=("sequential", "mpc"),
+        default=None,
+        help="index build path (default: the request file's 'defaults', else sequential)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="execution backend for MPC index builds (wall-clock only)",
+    )
+    serve_parser.add_argument("--delta", type=float, default=None, help="MPC scalability parameter")
+    serve_parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N", help="index cache budget in bytes"
+    )
+    serve_parser.add_argument(
+        "--spill", default=None, metavar="DIR", help="spill evicted indexes to .npz files in DIR"
+    )
 
     validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
     validate_parser.add_argument("path", help="artifact JSON file")
@@ -179,6 +239,139 @@ def _cmd_run(args, out) -> int:
     return 0 if result.checks_passed is not False else 1
 
 
+def _format_result_cell(outcome) -> str:
+    if isinstance(outcome.result, int):
+        return str(outcome.result)
+    summary = outcome.result_summary()
+    if summary["count"] == 0:
+        return "[0 answers]"
+    return f"[{summary['count']} answers, min={summary['min']}, max={summary['max']}]"
+
+
+def _serve_artifact(args, service, batches, seconds: float) -> Dict[str, Any]:
+    """The serving outcome as a schema-v1 document (+ a ``service`` section).
+
+    Reuses the experiment-artifact machinery: outcomes become grid points of
+    an ad-hoc (unregistered) ``serve`` spec, and the aggregate service/cache
+    statistics ride along in the additive ``service`` field (additive fields
+    are allowed within a schema version).
+    """
+    spec = ExperimentSpec(
+        name="serve",
+        title="Batched semi-local query serving (python -m repro serve)",
+        claim="serving amortisation of Theorem 1.3 / Corollaries 1.3.1-1.3.3",
+        grid={},
+        point=dict,
+        columns=["submission", "id", "op", "cache_hit", "num_queries"],
+    )
+    points = [
+        PointResult(
+            params={"submission": submission, "id": outcome.request_id, "op": outcome.op},
+            metrics={
+                "target": outcome.target,
+                "index_kind": outcome.index_kind,
+                "index_fingerprint": outcome.index_fingerprint,
+                "cache_hit": outcome.cache_hit,
+                "num_queries": outcome.num_queries,
+                "result": outcome.result_summary(),
+            },
+            seconds=outcome.seconds,
+        )
+        for submission, batch in enumerate(batches)
+        for outcome in batch.outcomes
+    ]
+    stats = service.stats()
+    result = ExperimentResult(
+        spec=spec,
+        points=points,
+        grid={},
+        fixed={
+            "requests_file": os.path.basename(args.requests),
+            "repeat": len(batches),
+            "mode": stats["mode"],
+            "delta": stats["delta"],
+            "backend": stats["backend"],
+            "cache_max_bytes": stats["cache"]["max_bytes"],
+        },
+        quick=False,
+        workers=1,
+        wall_clock_seconds=seconds,
+    )
+    document = result_to_artifact(result)
+    document["service"] = stats
+    return document
+
+
+def _cmd_serve(args, out) -> int:
+    try:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read requests file {args.requests}: {exc}") from None
+    defaults, requests = parse_requests_document(raw)
+
+    mode = args.mode if args.mode is not None else str(defaults.get("mode", "sequential"))
+    delta = args.delta if args.delta is not None else float(defaults.get("delta", 0.5))
+    backend = args.backend if args.backend is not None else defaults.get("backend")
+    cache_bytes = (
+        args.cache_bytes
+        if args.cache_bytes is not None
+        else int(defaults.get("cache_bytes", DEFAULT_CACHE_BYTES))
+    )
+    spill_dir = args.spill if args.spill is not None else defaults.get("spill_dir")
+    service = QueryService(
+        cache=IndexCache(max_bytes=cache_bytes, spill_dir=spill_dir),
+        mode=mode,
+        delta=delta,
+        backend=backend,
+    )
+
+    repeat = max(1, int(args.repeat))
+    started = time.perf_counter()
+    batches = [service.submit(requests) for _ in range(repeat)]
+    seconds = time.perf_counter() - started
+
+    for submission, batch in enumerate(batches):
+        rows = [
+            [
+                outcome.request_id,
+                outcome.op,
+                outcome.target,
+                outcome.index_kind,
+                "hit" if outcome.cache_hit else "build",
+                outcome.num_queries,
+                _format_result_cell(outcome),
+            ]
+            for outcome in batch.outcomes
+        ]
+        print(
+            format_block(
+                f"submission {submission + 1}/{repeat} ({batch.seconds * 1000:.1f} ms, "
+                f"{batch.indexes_built} built / {batch.indexes_reused} cached)",
+                format_table(
+                    ["id", "op", "target", "index", "cache", "queries", "result"], rows
+                ),
+            ),
+            file=out,
+        )
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"served {stats['requests_served']} requests "
+        f"({stats['queries_evaluated']} interval queries) in {seconds:.3f}s — "
+        f"built {stats['indexes_built']} indexes in {stats['build_seconds']:.3f}s, "
+        f"query time {stats['query_seconds'] * 1000:.1f} ms; "
+        f"cache: {cache['hits']} hits / {cache['misses']} misses / "
+        f"{cache['evictions']} evictions (hit rate {cache['hit_rate']:.2f})",
+        file=out,
+    )
+    if args.artifact is not None:
+        document = _serve_artifact(args, service, batches, seconds)
+        write_document(document, args.artifact)
+        print(f"wrote artifact: {args.artifact}", file=out)
+    return 0
+
+
 def _cmd_validate(path: str, out) -> int:
     try:
         document = load_artifact(path)
@@ -205,6 +398,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_list(args.json, out)
         if args.command == "run":
             return _cmd_run(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "validate":
             return _cmd_validate(args.path, out)
     except (KeyError, ValueError) as exc:

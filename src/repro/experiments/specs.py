@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List
 
 import numpy as np
 
-from ..analysis.serialize import stats_summary
+from ..analysis.serialize import stats_summary, weighted_checksum
 from ..baselines import chs23_lis_length, chs23_multiply, kt10_lis_length
 from ..core import multiply_permutations, random_permutation
 from ..core.permutation import Permutation
@@ -32,6 +32,7 @@ from ..lis import (
 from ..mpc import MPCCluster, ScalabilityError
 from ..mpc_monge import MongeMPCConfig, mpc_multiply, mpc_multiply_warmup
 from ..mpc_monge.constant_round import mpc_combine
+from ..service import IndexCache, QueryRequest, QueryService, TargetSpec, build_lis_index
 from ..workloads import make_sequence, make_string_pair
 from .spec import ExperimentSpec, PointResult, register_spec
 
@@ -692,8 +693,7 @@ def run_backend_wallclock_point(backend: str, n: int, delta: float, seed: int = 
 
     # A cheap order-sensitive digest of the product; identical across backends
     # iff the output permutations are bit-identical.
-    points = result.row_to_col
-    checksum = int((points * (np.arange(n, dtype=np.int64) + 1)).sum() % (2**61 - 1))
+    checksum = weighted_checksum(result.row_to_col)
     return {
         "backend": backend,
         "multiply_seconds": multiply_seconds,
@@ -750,5 +750,147 @@ register_spec(
         checks=check_backend_wallclock,
         timer=timer_backend_wallclock,
         bench_file="benchmarks/bench_backend_wallclock.py",
+    )
+)
+
+
+# --------------------------------------------------------- service_throughput
+# E11 — The serving subsystem: cached batch querying vs rebuild-per-query.
+
+
+def _service_query_windows(n: int, batch: int, seed: int):
+    rng = np.random.default_rng(seed + batch)
+    i = rng.integers(0, max(1, n - 1), size=batch)
+    widths = rng.integers(1, max(2, n // 4), size=batch)
+    j = np.minimum(i + widths, n)
+    return i, j
+
+
+def run_service_throughput_point(
+    workload: str,
+    batch: int,
+    backend: str,
+    n: int = 4096,
+    seed: int = 7,
+    delta: float = 0.5,
+    naive_sample: int = 1,
+    mode: str = "mpc",
+) -> Dict[str, Any]:
+    """One serving measurement: cold build, warm cached batch, naive rebuild.
+
+    ``cached_qps`` times a *warm* ``QueryService.submit`` of the whole batch
+    (fingerprint lookup + one vectorised dominance-count pass).  The naive
+    baseline rebuilds the index from scratch for each of ``naive_sample``
+    sampled queries — the pre-subsystem one-shot usage pattern — and its
+    per-query cost is what ``speedup`` divides by.
+    """
+    i_arr, j_arr = _service_query_windows(n, batch, seed)
+    target = TargetSpec(kind="sequence", workload=workload, n=n, seed=seed)
+    service = QueryService(cache=IndexCache(), mode=mode, delta=delta, backend=backend)
+    requests = [
+        QueryRequest(op="substring_query", target=target, request_id="batch", i=i_arr, j=j_arr)
+    ]
+    cold = service.submit(requests)
+    warm_started = time.perf_counter()
+    warm = service.submit(requests)
+    warm_seconds = time.perf_counter() - warm_started
+    answers = np.asarray(warm.outcomes[0].result, dtype=np.int64)
+    assert warm.outcomes[0].cache_hit and not cold.outcomes[0].cache_hit
+
+    sequence = target.realise()
+    naive_sample = max(1, int(naive_sample))
+    naive_started = time.perf_counter()
+    for q in range(naive_sample):
+        rebuilt = build_lis_index(sequence, mode=mode, delta=delta, backend=backend)
+        value = int(rebuilt.query_substrings(i_arr[q % batch], j_arr[q % batch])[0])
+        assert value == int(answers[q % batch]), "naive rebuild disagrees with cached index"
+    naive_per_query = (time.perf_counter() - naive_started) / naive_sample
+
+    cached_qps = batch / warm_seconds if warm_seconds > 0 else float("inf")
+    naive_qps = 1.0 / naive_per_query if naive_per_query > 0 else float("inf")
+    checksum = weighted_checksum(answers)
+    counters = service.cache.counters()
+    return {
+        "n": n,
+        "build_seconds": service.build_seconds,
+        "warm_batch_seconds": warm_seconds,
+        "cached_qps": cached_qps,
+        "naive_per_query_seconds": naive_per_query,
+        "naive_qps": naive_qps,
+        "speedup": cached_qps / naive_qps,
+        "cache_hits": counters["hits"],
+        "cache_misses": counters["misses"],
+        "cache_evictions": counters["evictions"],
+        "cache_hit_rate": counters["hit_rate"],
+        "answers_checksum": checksum,
+    }
+
+
+def check_service_throughput(points: List[PointResult]) -> None:
+    # (1) Answers are bit-identical across execution backends; (2) cached
+    # batch serving beats rebuild-per-query by >= 10x at production sizes.
+    by_case: Dict[Any, Dict[str, Any]] = {}
+    for point in points:
+        row = point.row()
+        case = (row["workload"], row["batch"])
+        reference = by_case.setdefault(case, row)
+        assert row["answers_checksum"] == reference["answers_checksum"], (
+            f"backend {row['backend']} answers diverge from {reference['backend']} "
+            f"on {case}: {row['answers_checksum']} != {reference['answers_checksum']}"
+        )
+        assert row["cache_hits"] >= 1 and row["cache_misses"] >= 1, (
+            f"cache counters not exercised on {case} ({row['backend']})"
+        )
+        if row["n"] >= 4096:
+            assert row["speedup"] >= 10.0, (
+                f"cached batch serving must be >= 10x rebuild-per-query at "
+                f"n={row['n']}, got {row['speedup']:.1f}x on {case} ({row['backend']})"
+            )
+
+
+def timer_service_throughput() -> Callable[[], Any]:
+    n, batch = 4096, 256
+    target = TargetSpec(kind="sequence", workload="random", n=n, seed=7)
+    i_arr, j_arr = _service_query_windows(n, batch, 7)
+    service = QueryService(cache=IndexCache(), mode="mpc")
+    requests = [
+        QueryRequest(op="substring_query", target=target, request_id="batch", i=i_arr, j=j_arr)
+    ]
+    service.submit(requests)  # cold build outside the timed region
+    return lambda: service.submit(requests)
+
+
+register_spec(
+    ExperimentSpec(
+        name="service_throughput",
+        title="Query-serving throughput: cached batches vs rebuild-per-query",
+        claim="serving amortisation of Theorem 1.3 / Corollary 1.3.2 build products",
+        grid={
+            "workload": ["random", "near_sorted"],
+            "batch": [64, 256],
+            "backend": ["serial", "thread", "process"],
+        },
+        fixed={"n": 4096, "seed": 7, "delta": 0.5, "naive_sample": 1, "mode": "mpc"},
+        quick_grid={
+            "workload": ["random"],
+            "batch": [32],
+            "backend": ["serial", "thread", "process"],
+        },
+        quick_fixed={"n": 512},
+        point=run_service_throughput_point,
+        columns=[
+            "workload",
+            "batch",
+            "backend",
+            "cached_qps",
+            "naive_qps",
+            "speedup",
+            "cache_hits",
+            "cache_misses",
+            "answers_checksum",
+        ],
+        checks=check_service_throughput,
+        timer=timer_service_throughput,
+        bench_file="benchmarks/bench_service_throughput.py",
     )
 )

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..lis.semilocal import SemiLocalLIS, value_interval_matrix
+from ..lis.semilocal import SemiLocalLIS, validate_intervals, value_interval_matrix
 from ..lis.mpc_lis import mpc_lis_matrix
 from ..mpc.cluster import MPCCluster
 from ..mpc_monge.constant_round import MongeMPCConfig
@@ -33,20 +33,34 @@ class SemiLocalLCS:
     match_positions: np.ndarray
     t_length: int
 
+    def query_batch(self, i, j) -> np.ndarray:
+        """Vectorised ``LCS(S, T[i:j])`` over batches of subsegment windows.
+
+        Bounds are checked for the whole batch at once (invalid windows raise
+        :class:`ValueError` rather than wrapping through negative indexing).
+        Match pairs whose T-position lies in ``[i, j)`` occupy a contiguous
+        rank range of the value universe (values are the positions themselves,
+        ranked by the strict-LIS tie-break), so the batch reduces to one
+        vectorised rank-interval evaluation over the dominance-count
+        structure.
+        """
+        i, j = validate_intervals(i, j, self.t_length, what="subsegment")
+        lo = np.searchsorted(self.match_positions, i, side="left")
+        hi = np.searchsorted(self.match_positions, j, side="left")
+        return self.semilocal.score(lo, hi)
+
     def query(self, i: int, j: int) -> int:
         """``LCS(S, T[i:j])``."""
-        if not (0 <= i <= j <= self.t_length):
-            raise ValueError("invalid subsegment")
-        # Match pairs whose T-position lies in [i, j) occupy a contiguous rank
-        # range of the value universe (values are the positions themselves,
-        # ranked by the strict-LIS tie-break).
-        lo = int(np.searchsorted(self.match_positions, i, side="left"))
-        hi = int(np.searchsorted(self.match_positions, j, side="left"))
-        return int(self.semilocal.score(lo, hi))
+        return int(self.query_batch(i, j)[0])
 
     def lcs_length(self) -> int:
         """``LCS(S, T)`` (the full-string query)."""
         return self.query(0, self.t_length)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes (semi-local matrix + match positions; cache sizing)."""
+        return int(self.semilocal.nbytes) + int(self.match_positions.nbytes)
 
 
 def _build(matches: np.ndarray, t_length: int, semilocal: SemiLocalLIS) -> SemiLocalLCS:

@@ -42,6 +42,7 @@ from ..core.seaweed import multiply
 __all__ = [
     "rank_transform",
     "embed_into_universe",
+    "validate_intervals",
     "SemiLocalLIS",
     "value_interval_matrix",
     "subsegment_matrix",
@@ -94,6 +95,37 @@ def embed_into_universe(
     all_rows = np.concatenate([mapped_rows, missing])
     all_cols = np.concatenate([mapped_cols, missing])
     return SubPermutation.from_points(all_rows, all_cols, universe, universe, validate=False)
+
+
+def validate_intervals(
+    i: np.ndarray, j: np.ndarray, upper: int, what: str = "interval"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised bounds check for batches of half-open query windows.
+
+    Every window must satisfy ``0 <= i <= j <= upper``.  Raises a
+    :class:`ValueError` naming the first offending window — without this,
+    negative indices would silently wrap through NumPy fancy indexing and
+    return a plausible-looking wrong answer.  Returns the validated arrays as
+    ``int64`` (shapes must match or broadcast to each other).
+    """
+    i = np.atleast_1d(np.asarray(i, dtype=np.int64))
+    j = np.atleast_1d(np.asarray(j, dtype=np.int64))
+    if i.shape != j.shape:
+        try:
+            i, j = np.broadcast_arrays(i, j)
+            i, j = np.ascontiguousarray(i), np.ascontiguousarray(j)
+        except ValueError:
+            raise ValueError(
+                f"{what} endpoint arrays have incompatible shapes {i.shape} and {j.shape}"
+            ) from None
+    bad = (i < 0) | (j > upper) | (i > j)
+    if np.any(bad):
+        first = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"invalid {what} ({int(i[first])}, {int(j[first])}) at batch position "
+            f"{first}: windows must satisfy 0 <= i <= j <= {upper}"
+        )
+    return i, j
 
 
 #: Blocks of at most this many elements use the direct dense construction.
@@ -226,18 +258,40 @@ class SemiLocalLIS:
         """The global LIS length of the underlying sequence."""
         return self.length - self.matrix.num_nonzeros
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the matrix plus its query structure (cache sizing)."""
+        return int(self.matrix.row_to_col.nbytes) + int(self._points.nbytes)
+
+    # Batch queries -----------------------------------------------------------
+    def query_rank_intervals(self, x, y) -> np.ndarray:
+        """Vectorised :meth:`query_rank_interval` over batches of windows.
+
+        One call answers the whole batch through the dominance-count
+        structure of the underlying :class:`ColoredPointSet`; invalid windows
+        (negative, reversed or past the universe) raise :class:`ValueError`
+        instead of wrapping.
+        """
+        if self.kind != "value":
+            raise ValueError("rank-interval queries need kind='value'")
+        x, y = validate_intervals(x, y, self.length, what="rank interval")
+        return self.score(x, y)
+
+    def query_substrings(self, i, j) -> np.ndarray:
+        """Vectorised :meth:`query_substring` over batches of windows."""
+        if self.kind != "position":
+            raise ValueError("substring queries need kind='position'")
+        i, j = validate_intervals(i, j, self.length, what="substring window")
+        return self.score(i, j)
+
     # Convenience aliases -----------------------------------------------------
     def query_rank_interval(self, x: int, y: int) -> int:
         """LIS using only elements whose rank is in ``[x, y)`` (value kind)."""
-        if self.kind != "value":
-            raise ValueError("rank-interval queries need kind='value'")
-        return int(self.score(x, y))
+        return int(self.query_rank_intervals(x, y)[0])
 
     def query_substring(self, i: int, j: int) -> int:
         """LIS of the subsegment ``A[i:j]`` (position kind, Corollary 1.3.2)."""
-        if self.kind != "position":
-            raise ValueError("substring queries need kind='position'")
-        return int(self.score(i, j))
+        return int(self.query_substrings(i, j)[0])
 
 
 def _default_multiply(pa: SubPermutation, pb: SubPermutation) -> SubPermutation:

@@ -1,0 +1,186 @@
+"""The cache layer: a byte-budgeted LRU over built semi-local indexes.
+
+The whole premise of the serving subsystem is that one seaweed build answers
+unboundedly many queries — so built indexes must be *kept*.  The
+:class:`IndexCache` holds them in memory under a byte budget (sized through
+each index's honest ``nbytes``, which includes the dominance-count
+acceleration structures), evicts least-recently-used entries when over
+budget, and can optionally **spill** evicted entries to compressed ``.npz``
+files so a later request pays a disk load instead of a full rebuild.
+
+Every interaction is counted (hits / misses / evictions / spill round-trips);
+the counters surface in service stats and in the ``service_throughput``
+artifact, because a cache without observable hit-rates cannot be tuned.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .index import SemiLocalIndex
+
+__all__ = ["IndexCache", "DEFAULT_CACHE_BYTES"]
+
+#: Default in-memory budget: generous for laptop-scale experiments, small
+#: enough that the eviction path is actually exercised by real workloads.
+DEFAULT_CACHE_BYTES = 256 << 20
+
+
+class IndexCache:
+    """Byte-budgeted LRU cache of :class:`SemiLocalIndex` objects.
+
+    Parameters
+    ----------
+    max_bytes:
+        In-memory budget.  The cache always retains at least the most
+        recently inserted index, even when that single index exceeds the
+        budget — refusing to cache anything would turn every request into a
+        rebuild, which is strictly worse than briefly exceeding the budget.
+    spill_dir:
+        When set, evicted indexes are written to ``<spill_dir>/<fp>.npz``
+        and looked up there on a memory miss (``spill_loads`` counts the
+        successful reloads).  ``None`` disables disk spill.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES, spill_dir: Optional[str] = None) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.spill_dir = spill_dir
+        self._entries: "OrderedDict[str, SemiLocalIndex]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spill_saves = 0
+        self.spill_loads = 0
+
+    # ----------------------------------------------------------------- spill
+    def _spill_path(self, fingerprint: str) -> Optional[str]:
+        if self.spill_dir is None:
+            return None
+        return os.path.join(self.spill_dir, f"{fingerprint}.npz")
+
+    def _spill_save(self, index: SemiLocalIndex) -> None:
+        path = self._spill_path(index.fingerprint)
+        if path is None:
+            return
+        os.makedirs(self.spill_dir, exist_ok=True)
+        # Write-then-rename so a crash mid-eviction never leaves a truncated
+        # file under the final name (rename is atomic within a directory).
+        # The temp name keeps the .npz suffix — np.savez would append one.
+        tmp_path = f"{path}.tmp.npz"
+        index.save(tmp_path)
+        os.replace(tmp_path, path)
+        self.spill_saves += 1
+
+    def _spill_load(self, fingerprint: str) -> Optional[SemiLocalIndex]:
+        path = self._spill_path(fingerprint)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            index = SemiLocalIndex.load(path)
+        except Exception:
+            # A corrupt/foreign spill file must degrade to a rebuild, not
+            # crash every future request for this fingerprint.  Drop it so
+            # the next eviction can spill cleanly.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.spill_loads += 1
+        return index
+
+    # ------------------------------------------------------------------- api
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[SemiLocalIndex]:
+        """Look up an index; memory first, then the spill directory.
+
+        A memory hit refreshes recency.  A spill hit re-inserts the loaded
+        index into memory (it is now hot again) and counts as a miss at the
+        memory level plus one ``spill_loads``.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        loaded = self._spill_load(fingerprint)
+        if loaded is not None:
+            self._insert(loaded)
+        return loaded
+
+    def put(self, index: SemiLocalIndex) -> None:
+        """Insert (or refresh) an index and evict down to the byte budget."""
+        if index.fingerprint in self._entries:
+            self._remove(index.fingerprint)
+        self._insert(index)
+
+    def get_or_build(
+        self, fingerprint: str, builder: Callable[[], SemiLocalIndex]
+    ) -> Tuple[SemiLocalIndex, bool]:
+        """The serving-layer entry point: ``(index, was_cached)``.
+
+        ``was_cached`` is true for memory *and* spill hits — either way the
+        expensive seaweed build was avoided.
+        """
+        cached = self.get(fingerprint)
+        if cached is not None:
+            return cached, True
+        built = builder()
+        if built.fingerprint != fingerprint:
+            raise ValueError(
+                "builder returned an index with a different fingerprint "
+                f"({built.fingerprint[:12]}… != {fingerprint[:12]}…); the cache "
+                "would silently serve wrong answers"
+            )
+        self.put(built)
+        return built, False
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (spill files are left in place)."""
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def counters(self) -> Dict[str, Any]:
+        """The observable cache state (JSON-safe, used in artifacts)."""
+        return {
+            "entries": len(self._entries),
+            "current_bytes": int(self.current_bytes),
+            "max_bytes": int(self.max_bytes),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "spill_saves": int(self.spill_saves),
+            "spill_loads": int(self.spill_loads),
+            "hit_rate": (
+                self.hits / (self.hits + self.misses) if (self.hits + self.misses) else 0.0
+            ),
+        }
+
+    # -------------------------------------------------------------- internals
+    def _insert(self, index: SemiLocalIndex) -> None:
+        self._entries[index.fingerprint] = index
+        self._entries.move_to_end(index.fingerprint)
+        self.current_bytes += index.nbytes
+        # Evict LRU entries until back under budget, but never the entry just
+        # inserted (len > 1): one oversized index beats caching nothing.
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            victim_fp = next(iter(self._entries))
+            victim = self._remove(victim_fp)
+            self._spill_save(victim)
+            self.evictions += 1
+
+    def _remove(self, fingerprint: str) -> SemiLocalIndex:
+        entry = self._entries.pop(fingerprint)
+        self.current_bytes -= entry.nbytes
+        return entry

@@ -258,6 +258,8 @@ SPEC_CASES = {
 SPEC_EXCLUSIONS = {
     "sequential": "no cluster: the sequential substrate has nothing to schedule",
     "backend_wallclock": "sweeps the backend itself; its own checks assert identity",
+    "service_throughput": "sweeps the backend itself; its own checks assert identity "
+    "(and tests/test_service.py covers the per-backend answers)",
 }
 
 

@@ -47,6 +47,7 @@ def test_registry_has_all_builtin_experiments():
         "fanin_ablation",
         "space_overhead",
         "backend_wallclock",
+        "service_throughput",
     ):
         assert expected in names
 
