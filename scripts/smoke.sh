@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command smoke check: tier-1 tests, a quick CLI experiment run (serial
 # and process execution backends), a serving batch-mode smoke (build ->
-# cached re-query -> artifact validate), and schema validation of every
-# artifact — the freshly written ones and everything recorded under
+# cached re-query -> artifact validate), a streaming cold/warm cycle
+# (sliding-window session -> artifact validate), and schema validation of
+# every artifact — the freshly written ones and everything recorded under
 # results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,6 +13,8 @@ ARTIFACT="${1:-/tmp/repro-smoke-table1.json}"
 BACKEND_ARTIFACT="${2:-/tmp/repro-smoke-lis-process.json}"
 SERVE_ARTIFACT="${3:-/tmp/repro-smoke-serve.json}"
 SERVICE_ARTIFACT="${4:-/tmp/repro-smoke-service-throughput.json}"
+STREAM_ARTIFACT="${5:-/tmp/repro-smoke-stream.json}"
+STREAMING_ARTIFACT="${6:-/tmp/repro-smoke-streaming-throughput.json}"
 
 echo "== tier-1 test-suite =="
 python -m pytest -x -q
@@ -38,11 +41,23 @@ python -m repro serve --requests examples/service_requests.json --repeat 2 \
     --artifact "${SERVE_ARTIFACT}"
 
 echo
+echo "== quick streaming_throughput run (serial/thread/process grid) -> ${STREAMING_ARTIFACT} =="
+python -m repro run streaming_throughput --quick --json "${STREAMING_ARTIFACT}"
+
+echo
+echo "== stream cold/warm cycle: warm build, sliding ticks -> ${STREAM_ARTIFACT} =="
+python -m repro stream --window 512 --ticks 4 --slide 64 --seed 7 \
+    --artifact "${STREAM_ARTIFACT}"
+python -m repro stream --session lcs --window 128 --ticks 3 --slide 16 --seed 7
+
+echo
 echo "== artifact schema validation (fresh runs + everything in results/) =="
 python -m repro validate "${ARTIFACT}"
 python -m repro validate "${BACKEND_ARTIFACT}"
 python -m repro validate "${SERVICE_ARTIFACT}"
 python -m repro validate "${SERVE_ARTIFACT}"
+python -m repro validate "${STREAMING_ARTIFACT}"
+python -m repro validate "${STREAM_ARTIFACT}"
 for recorded in results/*.json; do
     python -m repro validate "${recorded}"
 done

@@ -18,13 +18,29 @@ Public API highlights
 * :mod:`repro.service` — the batched query-serving subsystem (fingerprinted
   semi-local indexes, a byte-budgeted LRU cache with disk spill, and the
   ``QueryService`` behind ``python -m repro serve``).
+* :mod:`repro.streaming` — the sliding-window subsystem: a seaweed segment
+  tree (:class:`~repro.streaming.aggregator.SeaweedAggregator`) with
+  incremental recomposition, ``StreamingLIS`` / ``StreamingLCS`` session
+  objects and the ``python -m repro stream`` driver.
 * :mod:`repro.experiments` — the declarative experiment registry, runner and
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-from . import analysis, baselines, core, experiments, lcs, lis, mpc, mpc_monge, service, workloads
+from . import (
+    analysis,
+    baselines,
+    core,
+    experiments,
+    lcs,
+    lis,
+    mpc,
+    mpc_monge,
+    service,
+    streaming,
+    workloads,
+)
 
 __all__ = [
     "analysis",
@@ -36,6 +52,7 @@ __all__ = [
     "mpc",
     "mpc_monge",
     "service",
+    "streaming",
     "workloads",
     "__version__",
 ]

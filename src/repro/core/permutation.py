@@ -136,6 +136,15 @@ class SubPermutation:
         if filled.size != np.unique(filled).size:
             raise ValueError("duplicate column index: not a sub-permutation")
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the implicit representation.
+
+        The honest sizing hook used by the service cache and the streaming
+        node store — byte budgets must reflect what is actually held.
+        """
+        return int(self._row_to_col.nbytes)
+
     # ------------------------------------------------------------------ points
     @property
     def num_nonzeros(self) -> int:

@@ -13,8 +13,16 @@ Subcommands
     the :mod:`repro.service` subsystem (index cache + batched execution);
     ``--repeat`` re-submits the batch to demonstrate cache amortisation and
     ``--artifact`` records the outcome as a schema-v1 document.
+``stream``
+    Drive a sliding-window streaming session (:mod:`repro.streaming`):
+    per-tick exact LIS/LCS answers with incremental seaweed recomposition,
+    recorded as a schema-v1 artifact with an additive ``streaming`` section.
 ``validate <path>``
     Check an artifact file against the schema (exit 1 on failure).
+
+Every named-workload input is derived from an explicit ``--seed`` (default
+0), so a recorded artifact is bit-for-bit reproducible from the CLI line
+alone.
 
 Examples
 --------
@@ -25,6 +33,8 @@ Examples
     $ python -m repro run table1 --quick --workers 4 --set delta=0.5
     $ python -m repro run lis_rounds --quick --backend process
     $ python -m repro serve --requests examples/service_requests.json --repeat 2
+    $ python -m repro stream --ticks 16 --window 4096 --workload random --seed 7
+    $ python -m repro stream --session lcs --window 256 --ticks 8
     $ python -m repro validate results/table1.json
 """
 
@@ -163,6 +173,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--spill", default=None, metavar="DIR", help="spill evicted indexes to .npz files in DIR"
+    )
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="default seed for named-workload targets that omit 'seed' "
+        "(keeps recorded artifacts reproducible from the CLI line alone)",
+    )
+
+    stream_parser = sub.add_parser(
+        "stream",
+        help="drive a sliding-window streaming session (incremental recomposition)",
+    )
+    stream_parser.add_argument(
+        "--session", choices=("lis", "lcs"), default="lis", help="session kind (default lis)"
+    )
+    stream_parser.add_argument(
+        "--workload", default="random", metavar="NAME", help="sequence workload (lis sessions)"
+    )
+    stream_parser.add_argument(
+        "--string-workload",
+        default="correlated_pair",
+        metavar="NAME",
+        help="string-pair workload (lcs sessions)",
+    )
+    stream_parser.add_argument("--window", "-n", type=int, default=4096, metavar="N", help="sliding window length")
+    stream_parser.add_argument("--ticks", type=int, default=16, metavar="K", help="number of slide ticks")
+    stream_parser.add_argument("--slide", type=int, default=64, metavar="B", help="symbols appended/evicted per tick")
+    stream_parser.add_argument("--leaf-size", type=int, default=64, metavar="L", help="aggregator leaf block size")
+    stream_parser.add_argument("--probes", type=int, default=4, metavar="P", help="rank-interval probes per tick (lis)")
+    stream_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S", help="workload + probe seed (artifacts reproduce bit-for-bit)"
+    )
+    stream_parser.add_argument(
+        "--non-strict", action="store_true", help="longest non-decreasing instead of strictly increasing (lis)"
+    )
+    stream_parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="execution backend for leaf-block builds (wall-clock only)",
+    )
+    stream_parser.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="write the per-tick outcome as a schema-v1 artifact (+ 'streaming' section)",
     )
 
     validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
@@ -308,7 +366,7 @@ def _cmd_serve(args, out) -> int:
             raw = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise ValueError(f"cannot read requests file {args.requests}: {exc}") from None
-    defaults, requests = parse_requests_document(raw)
+    defaults, requests = parse_requests_document(raw, default_seed=args.seed)
 
     mode = args.mode if args.mode is not None else str(defaults.get("mode", "sequential"))
     delta = args.delta if args.delta is not None else float(defaults.get("delta", 0.5))
@@ -372,6 +430,149 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _stream_artifact(args, session, points, seconds: float) -> Dict[str, Any]:
+    """The streaming outcome as a schema-v1 document (+ ``streaming`` section).
+
+    Per-tick rows become grid points of an ad-hoc ``stream`` spec; the
+    session configuration and the aggregator's cost counters (multiplies
+    performed, blocks rebuilt, node-store bytes) ride along in the additive
+    ``streaming`` field.
+    """
+    spec = ExperimentSpec(
+        name="stream",
+        title="Streaming sliding-window session (python -m repro stream)",
+        claim="incremental seaweed recomposition (monoid structure of Theorem 1.3)",
+        grid={},
+        point=dict,
+        columns=["tick", "answer", "window", "seconds", "multiplies", "blocks_rebuilt"],
+    )
+    result = ExperimentResult(
+        spec=spec,
+        points=points,
+        grid={},
+        fixed={
+            "session": args.session,
+            "workload": args.workload if args.session == "lis" else args.string_workload,
+            "window": int(args.window),
+            "ticks": int(args.ticks),
+            "slide": int(args.slide),
+            "leaf_size": int(args.leaf_size),
+            "seed": int(args.seed),
+            "strict": not args.non_strict,
+            "backend": args.backend or "serial",
+        },
+        quick=False,
+        workers=1,
+        wall_clock_seconds=seconds,
+    )
+    document = result_to_artifact(result)
+    document["streaming"] = session.counters()
+    return document
+
+
+def _cmd_stream(args, out) -> int:
+    import numpy as np
+
+    from ..streaming import StreamingLCS, StreamingLIS
+    from ..workloads import make_sequence, make_string_pair
+
+    if args.window < 1 or args.ticks < 0 or args.slide < 1:
+        raise ValueError("stream needs --window >= 1, --ticks >= 0 and --slide >= 1")
+    total = args.window + args.ticks * args.slide
+    if args.session == "lis":
+        stream = make_sequence(args.workload, total, seed=args.seed).astype(float)
+        session = StreamingLIS(
+            window=args.window,
+            strict=not args.non_strict,
+            leaf_size=args.leaf_size,
+            backend=args.backend,
+        )
+        warm = stream[: args.window]
+        describe = f"{args.workload}(n={total}, seed={args.seed})"
+    else:
+        reference, stream = make_string_pair(args.string_workload, total, seed=args.seed)
+        session = StreamingLCS(
+            reference[: args.window],
+            window=args.window,
+            leaf_size=args.leaf_size,
+            backend=args.backend,
+        )
+        warm = stream[: args.window]
+        describe = f"{args.string_workload}(n={total}, seed={args.seed})"
+
+    rng = np.random.default_rng(args.seed)
+    started = time.perf_counter()
+    session.push(warm)
+    warm_seconds = time.perf_counter() - started
+    warm_answer = session.lis_length() if args.session == "lis" else session.lcs_length()
+
+    rows: List[List[Any]] = []
+    points: List[PointResult] = []
+    before = session.counters()
+    for tick in range(args.ticks):
+        lo = args.window + tick * args.slide
+        tick_started = time.perf_counter()
+        session.push(stream[lo : lo + args.slide])
+        if args.session == "lis":
+            answer = session.lis_length()
+            m = len(session)
+            x = rng.integers(0, m, size=max(0, args.probes))
+            y = np.minimum(m, x + rng.integers(1, max(2, m // 3), size=max(0, args.probes)))
+            probe_values = session.rank_intervals(x, y).tolist() if args.probes > 0 else []
+        else:
+            answer = session.lcs_length()
+            probe_values = []
+        tick_seconds = time.perf_counter() - tick_started
+        after = session.counters()
+        metrics = {
+            "answer": int(answer),
+            "window": int(after["window"]),
+            "probes": [int(v) for v in probe_values],
+            "multiplies": after["multiplies"] - before["multiplies"],
+            "blocks_rebuilt": after["blocks_built"] - before["blocks_built"],
+        }
+        before = after
+        points.append(PointResult(params={"tick": tick}, metrics=metrics, seconds=tick_seconds))
+        rows.append(
+            [
+                tick,
+                answer,
+                metrics["window"],
+                f"{tick_seconds * 1000:.1f} ms",
+                metrics["multiplies"],
+                metrics["blocks_rebuilt"],
+            ]
+        )
+    seconds = time.perf_counter() - started
+
+    label = "lis" if args.session == "lis" else "lcs"
+    print(
+        format_block(
+            f"streaming {label} session over {describe} "
+            f"(warm build {warm_seconds * 1000:.0f} ms, {label}={warm_answer})",
+            format_table(["tick", label, "window", "seconds", "multiplies", "blocks"], rows)
+            if rows
+            else "(no ticks requested)",
+        ),
+        file=out,
+    )
+    counters = session.counters()
+    amortised = (seconds - warm_seconds) / args.ticks if args.ticks else 0.0
+    print(
+        f"{args.ticks} ticks in {seconds - warm_seconds:.3f}s "
+        f"(amortised {amortised * 1000:.1f} ms/tick); "
+        f"{counters['multiplies']} multiplies, {counters['blocks_built']} blocks built, "
+        f"node store {counters['node_store']['entries']} entries / "
+        f"{counters['node_store']['nbytes']} bytes",
+        file=out,
+    )
+    if args.artifact is not None:
+        document = _stream_artifact(args, session, points, seconds)
+        write_document(document, args.artifact)
+        print(f"wrote artifact: {args.artifact}", file=out)
+    return 0
+
+
 def _cmd_validate(path: str, out) -> int:
     try:
         document = load_artifact(path)
@@ -400,6 +601,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "stream":
+            return _cmd_stream(args, out)
         if args.command == "validate":
             return _cmd_validate(args.path, out)
     except (KeyError, ValueError) as exc:

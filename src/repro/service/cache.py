@@ -34,10 +34,13 @@ class IndexCache:
     Parameters
     ----------
     max_bytes:
-        In-memory budget.  The cache always retains at least the most
-        recently inserted index, even when that single index exceeds the
-        budget — refusing to cache anything would turn every request into a
-        rebuild, which is strictly worse than briefly exceeding the budget.
+        In-memory budget.  An index whose ``nbytes`` exceeds the *whole*
+        budget can never share memory with other entries, so inserting it
+        must not trigger a degenerate evict-everything loop: oversized
+        indexes spill straight to disk when ``spill_dir`` is set (later
+        lookups pay a disk load, not a rebuild) and otherwise are admitted
+        only into an empty cache — one oversized index beats caching
+        nothing, but never at the price of flushing every resident entry.
     spill_dir:
         When set, evicted indexes are written to ``<spill_dir>/<fp>.npz``
         and looked up there on a memory miss (``spill_loads`` counts the
@@ -56,6 +59,7 @@ class IndexCache:
         self.evictions = 0
         self.spill_saves = 0
         self.spill_loads = 0
+        self.oversize_spills = 0
 
     # ----------------------------------------------------------------- spill
     def _spill_path(self, fingerprint: str) -> Optional[str]:
@@ -115,14 +119,27 @@ class IndexCache:
             return entry
         self.misses += 1
         loaded = self._spill_load(fingerprint)
-        if loaded is not None:
+        if loaded is not None and loaded.nbytes <= self.max_bytes:
+            # Oversized spill entries keep serving from disk — re-admitting
+            # one would flush every resident entry for a single loan.
             self._insert(loaded)
         return loaded
 
     def put(self, index: SemiLocalIndex) -> None:
-        """Insert (or refresh) an index and evict down to the byte budget."""
+        """Insert (or refresh) an index and evict down to the byte budget.
+
+        An index larger than the whole budget bypasses memory entirely: it
+        spills straight to disk when a spill directory is configured, and
+        without one it is admitted only into an empty cache — either way the
+        resident entries are never flushed wholesale for it.
+        """
         if index.fingerprint in self._entries:
             self._remove(index.fingerprint)
+        if index.nbytes > self.max_bytes and (self.spill_dir is not None or self._entries):
+            if self.spill_dir is not None:
+                self._spill_save(index)
+                self.oversize_spills += 1
+            return
         self._insert(index)
 
     def get_or_build(
@@ -162,6 +179,7 @@ class IndexCache:
             "evictions": int(self.evictions),
             "spill_saves": int(self.spill_saves),
             "spill_loads": int(self.spill_loads),
+            "oversize_spills": int(self.oversize_spills),
             "hit_rate": (
                 self.hits / (self.hits + self.misses) if (self.hits + self.misses) else 0.0
             ),

@@ -28,6 +28,19 @@ Targets are either **named workloads** (the registry of
 ``string_workload`` for LCS pairs) or **inline data** (``sequence`` /
 ``s``+``t``).  Requests against the same target share one index build —
 that grouping is the whole point of the serving layer.
+
+Version 2 (additive) introduces the ``refresh`` request kind::
+
+    {"op": "refresh", "workload": "random", "n": 4096, "seed": 7,
+     "append": [3, 1, 4, 1, 5]}
+
+which asks the service to *patch* the cached value-interval index of the
+target in place — one suffix block build plus one ⊡ multiplication
+(:func:`repro.streaming.recompose.extend_value_matrix`) — re-fingerprint the
+extended sequence and re-insert the patched index into the cache, instead of
+discarding the build product and starting over.  Version-1 documents remain
+valid; the parser accepts any version up to
+:data:`REQUESTS_SCHEMA_VERSION`.
 """
 
 from __future__ import annotations
@@ -55,15 +68,16 @@ __all__ = [
 ]
 
 REQUESTS_SCHEMA_ID = "repro.service.requests"
-REQUESTS_SCHEMA_VERSION = 1
+REQUESTS_SCHEMA_VERSION = 2
 
-#: The request operations the service answers.
+#: The request operations the service answers (``refresh`` is new in v2).
 OPS = (
     "lis_length",
     "lcs_length",
     "substring_query",
     "rank_interval_query",
     "window_sweep",
+    "refresh",
 )
 
 
@@ -134,12 +148,16 @@ class QueryRequest:
     step: int = 1
     #: Strictness of the LIS order (ignored for LCS targets).
     strict: bool = True
+    #: Symbols appended to the target (``refresh``, schema v2).
+    append: Optional[tuple] = None
 
     def index_kind(self) -> str:
         """The index kind this request must be answered from."""
         if self.target.kind == "string_pair":
             return "lcs"
-        return "lis:value" if self.op == "rank_interval_query" else "lis:position"
+        if self.op in ("rank_interval_query", "refresh"):
+            return "lis:value"
+        return "lis:position"
 
 
 def _as_tuple(values, what: str) -> tuple:
@@ -152,7 +170,7 @@ def _as_tuple(values, what: str) -> tuple:
     return tuple(arr.tolist())
 
 
-def _parse_target(doc: Mapping[str, Any], where: str) -> TargetSpec:
+def _parse_target(doc: Mapping[str, Any], where: str, default_seed: int = 0) -> TargetSpec:
     ways = [key for key in ("workload", "string_workload", "sequence", "s") if key in doc]
     if len(ways) != 1:
         raise ServiceRequestError(
@@ -192,7 +210,7 @@ def _parse_target(doc: Mapping[str, Any], where: str) -> TargetSpec:
             kind="sequence" if named_seq else "string_pair",
             workload=name,
             n=n,
-            seed=int(doc.get("seed", 0)),
+            seed=int(doc.get("seed", default_seed)),
             workload_args=args_key,
         )
     if "sequence" in doc:
@@ -206,21 +224,21 @@ def _parse_target(doc: Mapping[str, Any], where: str) -> TargetSpec:
     )
 
 
-def _parse_request(doc: Mapping[str, Any], idx: int) -> QueryRequest:
+def _parse_request(doc: Mapping[str, Any], idx: int, default_seed: int = 0) -> QueryRequest:
     where = f"requests[{idx}]"
     if not isinstance(doc, Mapping):
         raise ServiceRequestError(f"{where} must be an object")
     op = doc.get("op")
     if op not in OPS:
         raise ServiceRequestError(f"{where}: unknown op {op!r}; supported: {sorted(OPS)}")
-    target = _parse_target(doc, where)
+    target = _parse_target(doc, where, default_seed)
 
     if op == "lis_length" and target.kind != "sequence":
         raise ServiceRequestError(f"{where}: 'lis_length' needs a sequence target")
     if op == "lcs_length" and target.kind != "string_pair":
         raise ServiceRequestError(f"{where}: 'lcs_length' needs a string-pair target")
-    if op == "rank_interval_query" and target.kind != "sequence":
-        raise ServiceRequestError(f"{where}: 'rank_interval_query' needs a sequence target")
+    if op in ("rank_interval_query", "refresh") and target.kind != "sequence":
+        raise ServiceRequestError(f"{where}: {op!r} needs a sequence target")
 
     request = QueryRequest(
         op=op,
@@ -241,17 +259,26 @@ def _parse_request(doc: Mapping[str, Any], idx: int) -> QueryRequest:
         if "width" not in doc:
             raise ServiceRequestError(f"{where}: 'window_sweep' needs 'width'")
         request.width = int(doc["width"])
+    elif op == "refresh":
+        if "append" not in doc:
+            raise ServiceRequestError(f"{where}: 'refresh' needs 'append' (the new symbols)")
+        request.append = _as_tuple(doc["append"], f"{where}: 'append'")
     return request
 
 
 def parse_requests_document(
     document: Any,
+    *,
+    default_seed: Optional[int] = None,
 ) -> Tuple[Dict[str, Any], List[QueryRequest]]:
     """Validate a batch document; returns ``(defaults, requests)``.
 
     ``defaults`` are service-configuration hints (``mode`` / ``delta`` /
     ``backend`` / ``cache_bytes`` / ``spill_dir``) that the CLI merges under
-    its own flags.
+    its own flags.  ``default_seed`` (the CLI ``--seed`` flag) applies to
+    named-workload targets that omit an explicit ``seed``; the document's
+    own ``defaults.seed`` takes precedence over the built-in 0 but not over
+    the explicit argument.
     """
     if not isinstance(document, Mapping):
         raise ServiceRequestError("the requests document must be a JSON object")
@@ -272,4 +299,8 @@ def parse_requests_document(
     raw = document.get("requests")
     if not isinstance(raw, list) or not raw:
         raise ServiceRequestError("'requests' must be a non-empty array")
-    return dict(defaults), [_parse_request(entry, idx) for idx, entry in enumerate(raw)]
+    if default_seed is None:
+        default_seed = int(defaults.get("seed", 0))
+    return dict(defaults), [
+        _parse_request(entry, idx, int(default_seed)) for idx, entry in enumerate(raw)
+    ]

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..analysis.serialize import weighted_checksum
 from ..lis.semilocal import validate_intervals
+from ..streaming.recompose import extend_value_matrix
 from .cache import IndexCache
 from .index import (
     SemiLocalIndex,
@@ -132,8 +133,10 @@ class QueryService:
         self.batches_served = 0
         self.queries_evaluated = 0
         self.indexes_built = 0
+        self.indexes_refreshed = 0
         self.build_seconds = 0.0
         self.query_seconds = 0.0
+        self.refresh_seconds = 0.0
 
     # ------------------------------------------------------------------ index
     def _build_index(
@@ -175,6 +178,52 @@ class QueryService:
             self.indexes_built += 1
             self.build_seconds += float(index.provenance.get("build_seconds", 0.0))
         return index, was_cached
+
+    # ----------------------------------------------------------------- refresh
+    def refresh(
+        self, target: TargetSpec, append, *, strict: bool = True
+    ) -> Tuple[SemiLocalIndex, bool]:
+        """Patch the target's cached value-interval index with new symbols.
+
+        Instead of discarding the cached build product when the input grows,
+        the old matrix becomes the left ⊡ operand: one suffix block build
+        plus one multiplication yields the extended index *bit-identically*
+        to a from-scratch rebuild
+        (:func:`repro.streaming.recompose.extend_value_matrix`).  The patched
+        index is re-fingerprinted over the extended sequence and re-inserted
+        into the cache, so follow-up queries against the extended target
+        (inline, ``float64``-canonical) hit it directly.
+
+        Returns ``(patched_index, old_was_cached)``.
+        """
+        if target.kind != "sequence":
+            raise ServiceRequestError("refresh needs a sequence target")
+        append = np.asarray(append, dtype=np.float64).ravel()
+        if append.size == 0:
+            raise ServiceRequestError("refresh needs at least one appended symbol")
+        index, was_cached = self._get_index(target, "lis:value", strict)
+        old_values = np.asarray(target.realise(), dtype=np.float64)
+        extended = np.concatenate([old_values, append])
+        fingerprint = lis_index_fingerprint(extended, "lis:value", strict)
+        started = time.perf_counter()
+        patched = extend_value_matrix(index.semilocal, old_values, append, strict=strict)
+        seconds = time.perf_counter() - started
+        refreshed = SemiLocalIndex(
+            fingerprint=fingerprint,
+            kind="lis:value",
+            semilocal=patched,
+            length=len(extended),
+            provenance={
+                "mode": "refresh",
+                "refreshed_from": index.fingerprint,
+                "appended": int(append.size),
+                "build_seconds": float(seconds),
+            },
+        )
+        self.cache.put(refreshed)
+        self.indexes_refreshed += 1
+        self.refresh_seconds += seconds
+        return refreshed, was_cached
 
     # -------------------------------------------------------------- intervals
     @staticmethod
@@ -222,7 +271,10 @@ class QueryService:
         requests = list(requests)
         started = time.perf_counter()
         # Group by required index identity, preserving first-seen order.
+        # Refresh requests mutate the cache, so they execute individually (in
+        # batch order) rather than joining a query group.
         groups: Dict[Tuple[TargetSpec, str, bool], List[Tuple[int, QueryRequest]]] = {}
+        refreshes: List[Tuple[int, QueryRequest]] = []
         for position, request in enumerate(requests):
             if request.op not in OPS:
                 raise ServiceRequestError(
@@ -230,10 +282,32 @@ class QueryService:
                 )
             kind = request.index_kind()
             strict = bool(request.strict) if kind != "lcs" else True
+            if request.op == "refresh":
+                refreshes.append((position, request))
+                continue
             groups.setdefault((request.target, kind, strict), []).append((position, request))
 
         outcomes: List[Optional[RequestOutcome]] = [None] * len(requests)
         built = reused = 0
+        for position, request in refreshes:
+            refresh_started = time.perf_counter()
+            refreshed, was_cached = self.refresh(
+                request.target, request.append, strict=bool(request.strict)
+            )
+            built += 0 if was_cached else 1
+            reused += 1 if was_cached else 0
+            self.queries_evaluated += 1
+            outcomes[position] = RequestOutcome(
+                request_id=request.request_id,
+                op=request.op,
+                target=request.target.describe(),
+                index_kind="lis:value",
+                index_fingerprint=refreshed.fingerprint,
+                cache_hit=was_cached,
+                result=int(refreshed.full_length()),
+                num_queries=1,
+                seconds=time.perf_counter() - refresh_started,
+            )
         for (target, kind, strict), members in groups.items():
             index, was_cached = self._get_index(target, kind, strict)
             built += 0 if was_cached else 1
@@ -288,7 +362,9 @@ class QueryService:
             "requests_served": self.requests_served,
             "queries_evaluated": self.queries_evaluated,
             "indexes_built": self.indexes_built,
+            "indexes_refreshed": self.indexes_refreshed,
             "build_seconds": self.build_seconds,
             "query_seconds": self.query_seconds,
+            "refresh_seconds": self.refresh_seconds,
             "cache": self.cache.counters(),
         }

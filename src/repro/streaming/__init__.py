@@ -1,0 +1,49 @@
+"""Streaming sliding-window subsystem: incremental seaweed recomposition.
+
+The (sub)unit-Monge product ``⊡`` is an associative monoid operation, so the
+semi-local build products of Theorem 1.3 / Corollaries 1.3.2-1.3.3 can be
+*recombined* instead of rebuilt when the input slides, appends or mutates:
+
+* :mod:`~repro.streaming.aggregator` — :class:`SeaweedAggregator`, a seaweed
+  segment tree over per-leaf-block products with an ``nbytes``-aware
+  :class:`NodeStore`, O(log n) root-path recombination for
+  ``append`` / ``evict`` / ``update``, and exact seam-sweep query evaluation
+  over the window cover;
+* :mod:`~repro.streaming.sessions` — :class:`StreamingLIS` and
+  :class:`StreamingLCS`, per-tick session objects exposing ``lis_length`` /
+  ``lcs_length`` / window-sweep queries over the live window;
+* :mod:`~repro.streaming.recompose` — :func:`extend_value_matrix`, the
+  one-multiply append patch used by the service layer's ``refresh`` request
+  kind (``repro.service.requests`` v2).
+
+Amortised per-tick sliding cost is measured by the registered
+``streaming_throughput`` experiment (``python -m repro run
+streaming_throughput``); ``python -m repro stream`` drives a live session
+from the command line.
+"""
+
+from .aggregator import (
+    AggregatorStats,
+    BlockProduct,
+    NodeStore,
+    SeaweedAggregator,
+    build_block_product,
+    combine_block_products,
+    cover_scores,
+)
+from .recompose import block_product_from_semilocal, extend_value_matrix
+from .sessions import StreamingLCS, StreamingLIS
+
+__all__ = [
+    "AggregatorStats",
+    "BlockProduct",
+    "NodeStore",
+    "SeaweedAggregator",
+    "build_block_product",
+    "combine_block_products",
+    "cover_scores",
+    "block_product_from_semilocal",
+    "extend_value_matrix",
+    "StreamingLCS",
+    "StreamingLIS",
+]

@@ -260,6 +260,8 @@ SPEC_EXCLUSIONS = {
     "backend_wallclock": "sweeps the backend itself; its own checks assert identity",
     "service_throughput": "sweeps the backend itself; its own checks assert identity "
     "(and tests/test_service.py covers the per-backend answers)",
+    "streaming_throughput": "sweeps the backend itself; its own checks assert identity "
+    "(and tests/test_streaming.py covers the per-backend answers)",
 }
 
 

@@ -210,9 +210,46 @@ class TestIndexCache:
         cache.put(index)
         assert cache.get(index.fingerprint) is index
 
+    def _oversized_pair(self):
+        small = self._tiny_index(11)
+        big = build_lis_index(make_sequence("random", 2048, seed=12))
+        return small, big
+
+    def test_oversized_put_spills_straight_to_disk(self, tmp_path):
+        # Regression: an index larger than the whole budget used to trigger a
+        # degenerate evict-everything loop; it must spill directly instead.
+        small, big = self._oversized_pair()
+        cache = IndexCache(max_bytes=small.nbytes + 16, spill_dir=str(tmp_path))
+        cache.put(small)
+        cache.put(big)
+        counters = cache.counters()
+        assert counters["evictions"] == 0, "resident entries must not be flushed"
+        assert counters["oversize_spills"] == 1 and counters["spill_saves"] == 1
+        assert counters["entries"] == 1 and counters["current_bytes"] == small.nbytes
+        assert cache.get(small.fingerprint) is small
+        loaded = cache.get(big.fingerprint)
+        assert loaded is not None and loaded.fingerprint == big.fingerprint
+        # The oversized entry keeps serving from disk, never re-admitted.
+        assert cache.counters()["entries"] == 1
+        assert cache.counters()["spill_loads"] == 1
+
+    def test_oversized_put_without_spill_dir_leaves_residents_alone(self):
+        small, big = self._oversized_pair()
+        cache = IndexCache(max_bytes=small.nbytes + 16)
+        cache.put(small)
+        cache.put(big)
+        counters = cache.counters()
+        assert counters["evictions"] == 0 and counters["entries"] == 1
+        assert cache.get(small.fingerprint) is small
+        assert cache.get(big.fingerprint) is None  # uncached: rebuild on demand
+
     def test_eviction_spills_and_reloads_from_disk(self, tmp_path):
         first, second = self._tiny_index(5), self._tiny_index(6)
-        cache = IndexCache(max_bytes=first.nbytes + 1, spill_dir=str(tmp_path))
+        # Either index fits alone (so neither takes the oversized fast path),
+        # but not both together: inserting `second` must evict `first`.
+        cache = IndexCache(
+            max_bytes=max(first.nbytes, second.nbytes) + 1, spill_dir=str(tmp_path)
+        )
         cache.put(first)
         cache.put(second)  # evicts `first` to disk
         assert cache.counters()["spill_saves"] == 1
@@ -399,6 +436,127 @@ class TestRequestsDocument:
             parse_requests_document(
                 {"requests": [{"op": "lcs_length", "workload": "random", "n": 16}]}
             )
+
+    def test_refresh_requests_parse(self):
+        document = {
+            "schema": "repro.service.requests",
+            "version": 2,
+            "requests": [
+                {"op": "refresh", "workload": "random", "n": 32, "seed": 2, "append": [7, 1, 9]}
+            ],
+        }
+        _, requests = parse_requests_document(document)
+        assert requests[0].op == "refresh"
+        assert requests[0].append == (7.0, 1.0, 9.0)
+        assert requests[0].index_kind() == "lis:value"
+
+    def test_refresh_requires_append_and_sequence_target(self):
+        with pytest.raises(ServiceRequestError, match="needs 'append'"):
+            parse_requests_document(
+                {"requests": [{"op": "refresh", "workload": "random", "n": 16}]}
+            )
+        with pytest.raises(ServiceRequestError, match="sequence target"):
+            parse_requests_document(
+                {
+                    "requests": [
+                        {"op": "refresh", "string_workload": "random_pair", "n": 16, "append": [1]}
+                    ]
+                }
+            )
+
+    def test_version_1_documents_still_parse(self):
+        document = {
+            "schema": "repro.service.requests",
+            "version": 1,
+            "requests": [{"op": "lis_length", "workload": "random", "n": 16, "seed": 1}],
+        }
+        _, requests = parse_requests_document(document)
+        assert requests[0].op == "lis_length"
+
+    def test_cli_default_seed_applies_only_when_target_omits_seed(self):
+        document = {
+            "requests": [
+                {"op": "lis_length", "workload": "random", "n": 16},
+                {"op": "lis_length", "workload": "random", "n": 16, "seed": 3},
+            ]
+        }
+        _, requests = parse_requests_document(document, default_seed=9)
+        assert requests[0].target.seed == 9
+        assert requests[1].target.seed == 3
+        _, requests = parse_requests_document(document)
+        assert requests[0].target.seed == 0
+
+
+# -------------------------------------------------------------------- refresh
+class TestRefresh:
+    def test_refresh_patches_bit_identically_and_reinserts(self):
+        service = QueryService()
+        target = TargetSpec(kind="sequence", workload="random", n=96, seed=4)
+        appended = (5.0, 1.0, 99.0)
+        batch = service.submit(
+            [QueryRequest(op="refresh", target=target, request_id="r", append=appended)]
+        )
+        outcome = batch.by_id()["r"]
+        extended = np.concatenate(
+            [np.asarray(target.realise(), dtype=np.float64), appended]
+        )
+        rebuilt = build_lis_index(extended, kind="lis:value")
+        assert outcome.index_fingerprint == rebuilt.fingerprint
+        assert outcome.result == rebuilt.full_length()
+        patched = service.cache.get(rebuilt.fingerprint)
+        assert patched is not None, "patched index must be re-inserted into the cache"
+        assert patched.semilocal.matrix == rebuilt.semilocal.matrix
+        assert patched.provenance["mode"] == "refresh"
+        assert patched.provenance["appended"] == len(appended)
+        assert service.stats()["indexes_refreshed"] == 1
+
+    def test_refresh_reuses_a_cached_base_index(self):
+        service = QueryService()
+        target = TargetSpec(kind="sequence", workload="random", n=64, seed=5)
+        service.submit(
+            [QueryRequest(op="rank_interval_query", target=target, request_id="warm", x=0, y=64)]
+        )
+        batch = service.submit(
+            [QueryRequest(op="refresh", target=target, request_id="r", append=(1.0,))]
+        )
+        assert batch.by_id()["r"].cache_hit, "the base index build must be amortised"
+        assert batch.indexes_reused == 1
+
+    def test_refreshed_index_serves_follow_up_inline_queries(self):
+        service = QueryService()
+        target = TargetSpec(kind="sequence", workload="random", n=48, seed=6)
+        service.submit(
+            [QueryRequest(op="refresh", target=target, request_id="r", append=(7.0, 2.0))]
+        )
+        extended = tuple(
+            np.concatenate([np.asarray(target.realise(), dtype=np.float64), [7.0, 2.0]]).tolist()
+        )
+        inline = TargetSpec(kind="sequence", data=extended)
+        batch = service.submit(
+            [QueryRequest(op="rank_interval_query", target=inline, request_id="q", x=0, y=50)]
+        )
+        outcome = batch.by_id()["q"]
+        assert outcome.cache_hit, "the refreshed index must serve the extended target"
+        assert outcome.result == lis_length(np.asarray(extended))
+
+    def test_refresh_strictness_is_respected(self):
+        sequence = np.asarray([2.0, 2.0, 2.0, 2.0])
+        target = TargetSpec(kind="sequence", data=tuple(sequence.tolist()))
+        service = QueryService()
+        batch = service.submit(
+            [
+                QueryRequest(
+                    op="refresh", target=target, request_id="r", append=(2.0, 2.0), strict=False
+                )
+            ]
+        )
+        assert batch.by_id()["r"].result == 6  # non-decreasing chain of equal values
+
+    def test_refresh_rejects_empty_append(self):
+        service = QueryService()
+        target = TargetSpec(kind="sequence", data=(1.0, 2.0))
+        with pytest.raises(ServiceRequestError, match="at least one appended symbol"):
+            service.refresh(target, np.empty(0))
 
 
 # ----------------------------------------------------------------- serve CLI
