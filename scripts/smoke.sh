@@ -2,8 +2,10 @@
 # One-command smoke check: tier-1 tests, a quick CLI experiment run (serial
 # and process execution backends), a serving batch-mode smoke (build ->
 # cached re-query -> artifact validate), a streaming cold/warm cycle
-# (sliding-window session -> artifact validate), and schema validation of
-# every artifact — the freshly written ones and everything recorded under
+# (sliding-window session -> artifact validate), a quick perf pass gated
+# against the recorded results/perf_core.json baseline (cpu-normalised
+# regression check + the >= speedup floor), and schema validation of every
+# artifact — the freshly written ones and everything recorded under
 # results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +17,7 @@ SERVE_ARTIFACT="${3:-/tmp/repro-smoke-serve.json}"
 SERVICE_ARTIFACT="${4:-/tmp/repro-smoke-service-throughput.json}"
 STREAM_ARTIFACT="${5:-/tmp/repro-smoke-stream.json}"
 STREAMING_ARTIFACT="${6:-/tmp/repro-smoke-streaming-throughput.json}"
+PERF_ARTIFACT="${7:-/tmp/repro-smoke-perf.json}"
 
 echo "== tier-1 test-suite =="
 python -m pytest -x -q
@@ -51,6 +54,10 @@ python -m repro stream --window 512 --ticks 4 --slide 64 --seed 7 \
 python -m repro stream --session lcs --window 128 --ticks 3 --slide 16 --seed 7
 
 echo
+echo "== quick perf pass, gated against results/perf_core.json -> ${PERF_ARTIFACT} =="
+python -m repro perf --quick --json "${PERF_ARTIFACT}"
+
+echo
 echo "== artifact schema validation (fresh runs + everything in results/) =="
 python -m repro validate "${ARTIFACT}"
 python -m repro validate "${BACKEND_ARTIFACT}"
@@ -58,6 +65,7 @@ python -m repro validate "${SERVICE_ARTIFACT}"
 python -m repro validate "${SERVE_ARTIFACT}"
 python -m repro validate "${STREAMING_ARTIFACT}"
 python -m repro validate "${STREAM_ARTIFACT}"
+python -m repro validate "${PERF_ARTIFACT}"
 for recorded in results/*.json; do
     python -m repro validate "${recorded}"
 done

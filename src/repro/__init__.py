@@ -4,7 +4,9 @@ Multiplication, with Applications to LIS" (Koo, SPAA 2024).
 Public API highlights
 ---------------------
 * :mod:`repro.core` — permutation / sub-permutation matrices and sequential
-  (sub)unit-Monge multiplication (``repro.core.multiply``).
+  (sub)unit-Monge multiplication (``repro.core.multiply``): the
+  allocation-lean iterative engine, the retained recursive reference oracle
+  and the :class:`~repro.core.plan.MultiplyPlan` tuning knobs.
 * :mod:`repro.mpc` — a deterministic MPC simulator with round, space and
   communication accounting, plus the standard O(1)-round primitives.
 * :mod:`repro.mpc_monge` — the paper's O(1)-round multiplication (Theorem 1.1 /
@@ -22,11 +24,14 @@ Public API highlights
   tree (:class:`~repro.streaming.aggregator.SeaweedAggregator`) with
   incremental recomposition, ``StreamingLIS`` / ``StreamingLCS`` session
   objects and the ``python -m repro stream`` driver.
+* :mod:`repro.perf` — core hot-path micro-benchmarks and the cpu-normalised
+  perf regression gate behind ``python -m repro perf``
+  (``results/perf_core.json``).
 * :mod:`repro.experiments` — the declarative experiment registry, runner and
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import (
     analysis,

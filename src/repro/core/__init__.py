@@ -10,7 +10,14 @@ from .permutation import (
 )
 from .dense import multiply_dense, minplus_distribution_product, is_distribution_matrix
 from .combine import ColoredPointSet, combine_colored
-from .seaweed import multiply, multiply_permutations
+from .plan import MultiplyPlan, auto_plan, resolve_plan
+from .seaweed import (
+    ScratchArena,
+    multiply,
+    multiply_permutations,
+    multiply_permutations_iterative,
+    multiply_permutations_reference,
+)
 
 __all__ = [
     "EMPTY",
@@ -24,6 +31,12 @@ __all__ = [
     "is_distribution_matrix",
     "ColoredPointSet",
     "combine_colored",
+    "MultiplyPlan",
+    "auto_plan",
+    "resolve_plan",
+    "ScratchArena",
     "multiply",
     "multiply_permutations",
+    "multiply_permutations_iterative",
+    "multiply_permutations_reference",
 ]

@@ -18,9 +18,19 @@ vectorised binary search.  This realises exactly the characterisation of
 Lemmas 3.7-3.10 (interesting points and surviving sub-result points) without
 materialising the ``opt`` table.
 
-The same engine is used by the sequential seaweed multiplication
+The query structures are fully vectorised across colors: all points live in
+color-major sorted arrays whose values are shifted by ``color * span``, so a
+batch of per-color counts is one ``np.searchsorted`` over color-shifted keys
+— there is no Python loop over colors anywhere on the query path.  Small
+instances instead pre-compute dense per-color distribution tables (int32 —
+counts are bounded by the instance size) and answer every corner by direct
+indexing.
+
+The same engine is used by the sequential seaweed reference multiplication
 (:mod:`repro.core.seaweed`, with ``H = 2`` or larger fan-in) and by the local
-per-machine steps of the MPC algorithms (:mod:`repro.mpc_monge`).
+per-machine steps of the MPC algorithms (:mod:`repro.mpc_monge`).  The
+iterative engine's hot path uses the specialised staircase merge in
+:mod:`repro.core.seaweed` instead; this module is its general-``H`` oracle.
 """
 
 from __future__ import annotations
@@ -79,9 +89,14 @@ class _PrefixRankTree:
         return sum(level.nbytes for level in self._levels)
 
     def prefix_count_less(self, prefix_len: np.ndarray, threshold: np.ndarray) -> np.ndarray:
-        """For each query b: ``#{k < prefix_len[b] : values[k] < threshold[b]}``."""
+        """For each query b: ``#{k < prefix_len[b] : values[k] < threshold[b]}``.
+
+        ``prefix_len`` and ``threshold`` may be any broadcast-compatible
+        shapes; the result has the broadcast shape.
+        """
         prefix_len = np.asarray(prefix_len, dtype=np.int64)
         threshold = np.asarray(threshold, dtype=np.int64)
+        prefix_len, threshold = np.broadcast_arrays(prefix_len, threshold)
         out = np.zeros(prefix_len.shape, dtype=np.int64)
         span = self._value_span
         clipped_threshold = np.minimum(np.maximum(threshold, 0), span - 1)
@@ -109,6 +124,10 @@ class ColoredPointSet:
 
     Provides vectorised evaluation of the sub-result distribution matrices
     ``PΣ_{C,x}`` and of ``PΣ_C = min_q F_q`` at arbitrary batches of corners.
+
+    ``dense_table_limit`` overrides the module-level dense-table budget
+    (plans thread their tuned value through here); ``None`` keeps the
+    default.
     """
 
     def __init__(
@@ -119,6 +138,8 @@ class ColoredPointSet:
         num_colors: int,
         n_rows: int,
         n_cols: int,
+        *,
+        dense_table_limit: Optional[int] = None,
     ) -> None:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
@@ -139,39 +160,44 @@ class ColoredPointSet:
         self.cols = cols
         self.colors = colors
 
+        limit = DENSE_TABLE_LIMIT if dense_table_limit is None else int(dense_table_limit)
         table_cells = (n_rows + 1) * (n_cols + 1) * num_colors
         self._dense_tables: Optional[np.ndarray] = None
-        if table_cells <= DENSE_TABLE_LIMIT:
+        if table_cells <= limit:
             # Dense per-color distribution matrices: tables[x, i, j] = PΣ_{C,x}(i, j).
-            cell = np.zeros((num_colors, n_rows + 1, n_cols + 1), dtype=np.int64)
+            # Counts are bounded by the point count <= min(n_rows, n_cols), so
+            # int32 halves the memory traffic of the two cumsum passes.
+            cell = np.zeros((num_colors, n_rows + 1, n_cols + 1), dtype=np.int32)
             if rows.size:
                 np.add.at(cell, (colors, rows, cols + 1), 1)
-            prefix_cols = np.cumsum(cell, axis=2)
-            self._dense_tables = np.cumsum(prefix_cols[:, ::-1, :], axis=1)[:, ::-1, :]
+            prefix_cols = np.cumsum(cell, axis=2, dtype=np.int32)
+            self._dense_tables = np.cumsum(prefix_cols[:, ::-1, :], axis=1, dtype=np.int32)[:, ::-1, :]
             return
 
-        # Per-color structures, each sorted by row.
-        self._by_color_rows = []
-        self._by_color_cols_rowsorted = []
-        self._by_color_cols_sorted = []
-        self._by_color_rank_tree = []
-        for color in range(num_colors):
-            mask = colors == color
-            color_rows = rows[mask]
-            color_cols = cols[mask]
-            order = np.argsort(color_rows, kind="stable")
-            color_rows = color_rows[order]
-            color_cols = color_cols[order]
-            self._by_color_rows.append(color_rows)
-            self._by_color_cols_rowsorted.append(color_cols)
-            self._by_color_cols_sorted.append(np.sort(color_cols))
-            self._by_color_rank_tree.append(_PrefixRankTree(color_cols, n_cols))
+        # Color-major sorted structures (one vectorised batch per query, no
+        # Python loop over colors).  ``_starts[x]`` is color x's offset into
+        # the color-major arrays; the *_shifted arrays hold values offset by
+        # ``color * span`` so per-color searchsorted batches collapse into one.
+        self._row_span = np.int64(n_rows + 1)
+        self._col_span = np.int64(n_cols + 1)
+        counts = np.bincount(colors, minlength=num_colors).astype(np.int64)
+        self._starts = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+        by_row = np.lexsort((rows, colors))
+        self._rows_shifted = rows[by_row] + colors[by_row] * self._row_span
+        self._cols_by_row = cols[by_row]
+        by_col = np.lexsort((cols, colors))
+        self._cols_shifted = cols[by_col] + colors[by_col] * self._col_span
+        # One rank tree over the whole color-major array: a per-color prefix
+        # is the absolute range [starts[x], end), so batched prefix counts
+        # need no per-color structures.
+        self._rank_tree = _PrefixRankTree(self._cols_by_row, n_cols)
 
     # ------------------------------------------------------------------ memory
     @property
     def nbytes(self) -> int:
         """Resident bytes of the point arrays plus the query acceleration
-        structures (dense tables or the per-color rank trees).
+        structures (dense tables or the color-major arrays and rank tree).
 
         Used by the service-layer index cache to enforce its byte budget, so
         it must reflect what actually stays alive after construction.
@@ -179,56 +205,72 @@ class ColoredPointSet:
         total = self.rows.nbytes + self.cols.nbytes + self.colors.nbytes
         if self._dense_tables is not None:
             return total + self._dense_tables.nbytes
-        for x in range(self.num_colors):
-            total += self._by_color_rows[x].nbytes
-            total += self._by_color_cols_rowsorted[x].nbytes
-            total += self._by_color_cols_sorted[x].nbytes
-            total += self._by_color_rank_tree[x].nbytes
+        total += self._starts.nbytes
+        total += self._rows_shifted.nbytes
+        total += self._cols_by_row.nbytes
+        total += self._cols_shifted.nbytes
+        total += self._rank_tree.nbytes
         return total
 
     # ------------------------------------------------------------------ counts
+    def _color_keys(self, values: np.ndarray, span: np.int64) -> np.ndarray:
+        """``keys[b, x] = x * span + values[b]`` for the shifted searches."""
+        shifts = np.arange(self.num_colors, dtype=np.int64) * span
+        return values[:, None] + shifts[None, :]
+
     def row_suffix_counts(self, i: np.ndarray) -> np.ndarray:
         """``out[b, x] = #{points of color x with row >= i[b]}``."""
         i = np.asarray(i, dtype=np.int64)
         if self._dense_tables is not None:
-            return self._dense_tables[:, i, self.n_cols].T
-        out = np.empty((len(i), self.num_colors), dtype=np.int64)
-        for x in range(self.num_colors):
-            rows_x = self._by_color_rows[x]
-            out[:, x] = len(rows_x) - np.searchsorted(rows_x, i, side="left")
-        return out
+            return self._dense_tables[:, i, self.n_cols].T.astype(np.int64)
+        ends = np.searchsorted(self._rows_shifted, self._color_keys(i, self._row_span))
+        return self._starts[1:][None, :] - ends
 
     def col_prefix_counts(self, j: np.ndarray) -> np.ndarray:
         """``out[b, x] = #{points of color x with col < j[b]}``."""
         j = np.asarray(j, dtype=np.int64)
         if self._dense_tables is not None:
-            return self._dense_tables[:, 0, j].T
-        out = np.empty((len(j), self.num_colors), dtype=np.int64)
-        for x in range(self.num_colors):
-            out[:, x] = np.searchsorted(self._by_color_cols_sorted[x], j, side="left")
-        return out
+            return self._dense_tables[:, 0, j].T.astype(np.int64)
+        pos = np.searchsorted(self._cols_shifted, self._color_keys(j, self._col_span))
+        return pos - self._starts[:-1][None, :]
 
     def dominance_counts(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
         """``out[b, x] = PΣ_{C,x}(i[b], j[b]) = #{color-x points : row >= i, col < j}``."""
         i = np.asarray(i, dtype=np.int64)
         j = np.asarray(j, dtype=np.int64)
         if self._dense_tables is not None:
-            return self._dense_tables[:, i, j].T
-        out = np.empty((len(i), self.num_colors), dtype=np.int64)
-        for x in range(self.num_colors):
-            rows_x = self._by_color_rows[x]
-            prefix_len = np.searchsorted(rows_x, i, side="left")
-            total_less = np.searchsorted(self._by_color_cols_sorted[x], j, side="left")
-            before = self._by_color_rank_tree[x].prefix_count_less(prefix_len, j)
-            out[:, x] = total_less - before
-        return out
+            return self._dense_tables[:, i, j].T.astype(np.int64)
+        col_prefix = self.col_prefix_counts(j)
+        return self._dominance_from_col_prefix(i, j, col_prefix)
+
+    def _dominance_from_col_prefix(
+        self, i: np.ndarray, j: np.ndarray, col_prefix: np.ndarray
+    ) -> np.ndarray:
+        """Sparse-path dominance counts reusing an existing col-prefix batch.
+
+        ``#{color x: row >= i, col < j}`` = (color-x points with col < j)
+        minus (color-x points with row < i and col < j).  The subtrahend is a
+        prefix-range rank query on the single color-major tree: the range
+        ``[starts[x], ends[b, x])`` decomposes as tree(ends) minus the
+        exclusive running sum of the col-prefix counts (everything before
+        color x's segment with col < j).
+        """
+        ends = np.searchsorted(self._rows_shifted, self._color_keys(i, self._row_span))
+        before_end = self._rank_tree.prefix_count_less(ends, j[:, None])
+        before_start = np.cumsum(col_prefix, axis=1) - col_prefix
+        return col_prefix - (before_end - before_start)
 
     # ------------------------------------------------------------ F_q / sigma
     def f_values(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
         """``out[b, q] = F_q(i[b], j[b])`` for every subproblem index q."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
         row_suffix = self.row_suffix_counts(i)
         col_prefix = self.col_prefix_counts(j)
-        dom = self.dominance_counts(i, j)
+        if self._dense_tables is not None:
+            dom = self.dominance_counts(i, j)
+        else:
+            dom = self._dominance_from_col_prefix(i, j, col_prefix)
         # Σ_{x < q} row_suffix[x]  and  Σ_{x > q} col_prefix[x]
         before = np.cumsum(row_suffix, axis=1) - row_suffix
         total_after = col_prefix.sum(axis=1, keepdims=True)
@@ -283,10 +325,10 @@ class ColoredPointSet:
 
         Optimisation: a sub-result point survives unchanged whenever
         ``P_C`` has a 1 at its position (Lemma 3.10 region); those rows are
-        settled with a single batched evaluation, and only the remaining rows
-        (whose point was displaced by a demarcation line) run the binary
-        search.  Small instances skip both stages and take the fully dense
-        path instead.
+        settled with **one** stacked sigma evaluation of all four corners of
+        every union point, and only the remaining rows (whose point was
+        displaced by a demarcation line) run the binary search.  Small
+        instances skip both stages and take the fully dense path instead.
         """
         if self._dense_tables is not None:
             return self._combine_dense()
@@ -294,18 +336,19 @@ class ColoredPointSet:
         result_cols = np.full(self.n_rows, -1, dtype=np.int64)
 
         if self.rows.size:
-            # Stage 1: test survival of every union point.
+            # Stage 1: the 4-corner survival test, fused into one stacked
+            # evaluation — corners (r, c), (r, c+1), (r+1, c), (r+1, c+1).
             r = self.rows
             c = self.cols
-            s_rc = self.sigma(r, c)
-            s_rc1 = self.sigma(r, c + 1)
-            s_r1c = self.sigma(r + 1, c)
-            s_r1c1 = self.sigma(r + 1, c + 1)
+            stacked_i = np.concatenate([r, r, r + 1, r + 1])
+            stacked_j = np.concatenate([c, c + 1, c, c + 1])
+            s_rc, s_rc1, s_r1c, s_r1c1 = np.split(self.sigma(stacked_i, stacked_j), 4)
             survives = (s_rc1 - s_rc - s_r1c1 + s_r1c) == 1
             result_cols[r[survives]] = c[survives]
-            unresolved = np.setdiff1d(
-                np.arange(self.n_rows, dtype=np.int64), r[survives], assume_unique=False
-            )
+            # Unresolved rows via boolean-mask scatter (no sort/merge pass).
+            settled = np.zeros(self.n_rows, dtype=bool)
+            settled[r[survives]] = True
+            unresolved = np.flatnonzero(~settled)
         else:
             unresolved = np.arange(self.n_rows, dtype=np.int64)
 
@@ -321,7 +364,9 @@ class ColoredPointSet:
         tables = self._dense_tables
         before = np.cumsum(tables[:, :, self.n_cols], axis=0) - tables[:, :, self.n_cols]
         col_tot = tables[:, 0, :]
-        after = col_tot.sum(axis=0, keepdims=True) - np.cumsum(col_tot, axis=0)
+        after = col_tot.sum(axis=0, keepdims=True, dtype=np.int32) - np.cumsum(
+            col_tot, axis=0, dtype=np.int32
+        )
         sigma = np.min(
             tables + before[:, :, None] + after[:, None, :], axis=0
         )
@@ -339,9 +384,14 @@ def combine_colored(
     num_colors: int,
     n_rows: int,
     n_cols: int,
+    *,
+    dense_table_limit: Optional[int] = None,
 ) -> SubPermutation:
     """Convenience wrapper: build a :class:`ColoredPointSet` and combine it."""
-    point_set = ColoredPointSet(rows, cols, colors, num_colors, n_rows, n_cols)
+    point_set = ColoredPointSet(
+        rows, cols, colors, num_colors, n_rows, n_cols,
+        dense_table_limit=dense_table_limit,
+    )
     return point_set.combine()
 
 

@@ -17,8 +17,19 @@ Subcommands
     Drive a sliding-window streaming session (:mod:`repro.streaming`):
     per-tick exact LIS/LCS answers with incremental seaweed recomposition,
     recorded as a schema-v1 artifact with an additive ``streaming`` section.
+``perf``
+    Run the core hot-path micro-benchmarks (:mod:`repro.perf`), write the
+    ``results/perf_core.json`` artifact and gate against the recorded
+    baseline (cpu-normalised, tolerance-based; exit 1 on regression or when
+    the iterative-vs-reference multiply speedup falls below the floor).
 ``validate <path>``
     Check an artifact file against the schema (exit 1 on failure).
+
+The multiply-engine tuning knobs ``--fanin``, ``--base-size`` and ``--plan
+{default,auto}`` are available on ``run`` (for the specs that expose them),
+``serve``, ``stream`` and ``perf``; they change mechanics/wall-clock only —
+every answer and artifact metric other than timing is bit-identical across
+plans.
 
 Every named-workload input is derived from an explicit ``--seed`` (default
 0), so a recorded artifact is bit-for-bit reproducible from the CLI line
@@ -35,6 +46,8 @@ Examples
     $ python -m repro serve --requests examples/service_requests.json --repeat 2
     $ python -m repro stream --ticks 16 --window 4096 --workload random --seed 7
     $ python -m repro stream --session lcs --window 256 --ticks 8
+    $ python -m repro perf --quick
+    $ python -m repro perf --json results/perf_core.json --plan auto
     $ python -m repro validate results/table1.json
 """
 
@@ -68,6 +81,39 @@ from .spec import ExperimentSpec, PointResult, all_specs, expand_grid, get_spec
 __all__ = ["main", "build_parser"]
 
 DEFAULT_ARTIFACT_TEMPLATE = "results/{spec}.json"
+
+
+def _add_plan_arguments(parser) -> None:
+    """The shared multiply-engine tuning knobs (mechanics/wall-clock only)."""
+    parser.add_argument(
+        "--fanin",
+        type=int,
+        default=None,
+        metavar="H",
+        help="multiply-engine split fan-in (answers are identical across fan-ins)",
+    )
+    parser.add_argument(
+        "--base-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="multiply-engine dense-oracle crossover size",
+    )
+    parser.add_argument(
+        "--plan",
+        choices=("default", "auto"),
+        default=None,
+        help="multiply plan: static defaults or per-machine auto-calibration",
+    )
+
+
+def _resolve_cli_plan(args, *, required: bool = False):
+    """The plan implied by the CLI knobs (``None`` when nothing was asked)."""
+    from ..core.plan import resolve_plan
+
+    if not required and args.plan is None and args.fanin is None and args.base_size is None:
+        return None
+    return resolve_plan(args.plan, fanin=args.fanin, base_size=args.base_size)
 
 
 def _parse_scalar(text: str) -> Any:
@@ -134,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a swept grid parameter (repeatable)",
     )
     run_parser.add_argument("--no-checks", action="store_true", help="skip the cross-point consistency checks")
+    _add_plan_arguments(run_parser)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -182,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default seed for named-workload targets that omit 'seed' "
         "(keeps recorded artifacts reproducible from the CLI line alone)",
     )
+    _add_plan_arguments(serve_parser)
 
     stream_parser = sub.add_parser(
         "stream",
@@ -222,6 +270,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the per-tick outcome as a schema-v1 artifact (+ 'streaming' section)",
     )
+    _add_plan_arguments(stream_parser)
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="run the core hot-path micro-benchmarks and gate against the baseline",
+    )
+    perf_parser.add_argument(
+        "--quick", action="store_true", help="run only the reduced smoke-test case grid"
+    )
+    perf_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="results/perf_core.json",
+        default=None,
+        metavar="PATH",
+        help="write the perf artifact (default path: results/perf_core.json)",
+    )
+    perf_parser.add_argument(
+        "--baseline",
+        default="results/perf_core.json",
+        metavar="PATH",
+        help="recorded baseline artifact to gate against (skipped when absent)",
+    )
+    perf_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the baseline regression check and the speedup floor",
+    )
+    perf_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="F",
+        help="regression tolerance on cpu-normalised timings (default 2.5)",
+    )
+    perf_parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="required iterative-vs-reference multiply speedup (default 3.0, quick 2.0)",
+    )
+    perf_parser.add_argument(
+        "--repeats", type=int, default=2, metavar="R", help="timing repeats per case (min is kept)"
+    )
+    _add_plan_arguments(perf_parser)
 
     validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
     validate_parser.add_argument("path", help="artifact JSON file")
@@ -255,9 +349,11 @@ def _cmd_list(as_json: bool, out) -> int:
 
 
 def _cmd_run(args, out) -> int:
+    import inspect
+
     spec = get_spec(args.spec)
     overrides = _parse_overrides(args.overrides)
-    fixed_overrides = None
+    fixed_overrides: Optional[Dict[str, Any]] = None
     if args.backend is not None:
         if "backend" in overrides:
             raise ValueError(
@@ -269,6 +365,26 @@ def _cmd_run(args, out) -> int:
             overrides["backend"] = [args.backend]
         else:
             fixed_overrides = {"backend": args.backend}
+    # Multiply-engine knobs route like --backend: grid-swept parameters are
+    # restricted, point-accepted parameters become fixed overrides, anything
+    # else fails loudly (the spec genuinely has no sequential multiply knob).
+    point_params = set(inspect.signature(spec.point).parameters)
+    for key, value in (("fanin", args.fanin), ("base_size", args.base_size), ("plan", args.plan)):
+        if value is None:
+            continue
+        if key in overrides:
+            raise ValueError(
+                f"--{key.replace('_', '-')} conflicts with --set {key}=...; pass only one"
+            )
+        if key in spec.grid:
+            overrides[key] = [value]
+        elif key in point_params:
+            fixed_overrides = dict(fixed_overrides or {})
+            fixed_overrides[key] = value
+        else:
+            raise ValueError(
+                f"experiment {spec.name!r} does not expose the {key!r} tuning knob"
+            )
     result = run_experiment(
         spec,
         quick=args.quick,
@@ -382,6 +498,7 @@ def _cmd_serve(args, out) -> int:
         mode=mode,
         delta=delta,
         backend=backend,
+        plan=_resolve_cli_plan(args),
     )
 
     repeat = max(1, int(args.repeat))
@@ -430,13 +547,14 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
-def _stream_artifact(args, session, points, seconds: float) -> Dict[str, Any]:
+def _stream_artifact(args, session, points, seconds: float, plan=None) -> Dict[str, Any]:
     """The streaming outcome as a schema-v1 document (+ ``streaming`` section).
 
     Per-tick rows become grid points of an ad-hoc ``stream`` spec; the
-    session configuration and the aggregator's cost counters (multiplies
-    performed, blocks rebuilt, node-store bytes) ride along in the additive
-    ``streaming`` field.
+    session configuration — including the fully resolved multiply plan, so
+    recorded timings are attributable to the mechanics actually used — and
+    the aggregator's cost counters (multiplies performed, blocks rebuilt,
+    node-store bytes) ride along in the additive ``streaming`` field.
     """
     spec = ExperimentSpec(
         name="stream",
@@ -460,6 +578,7 @@ def _stream_artifact(args, session, points, seconds: float) -> Dict[str, Any]:
             "seed": int(args.seed),
             "strict": not args.non_strict,
             "backend": args.backend or "serial",
+            "plan": plan.describe() if plan is not None else "default",
         },
         quick=False,
         workers=1,
@@ -479,6 +598,7 @@ def _cmd_stream(args, out) -> int:
     if args.window < 1 or args.ticks < 0 or args.slide < 1:
         raise ValueError("stream needs --window >= 1, --ticks >= 0 and --slide >= 1")
     total = args.window + args.ticks * args.slide
+    plan = _resolve_cli_plan(args)
     if args.session == "lis":
         stream = make_sequence(args.workload, total, seed=args.seed).astype(float)
         session = StreamingLIS(
@@ -486,6 +606,7 @@ def _cmd_stream(args, out) -> int:
             strict=not args.non_strict,
             leaf_size=args.leaf_size,
             backend=args.backend,
+            plan=plan,
         )
         warm = stream[: args.window]
         describe = f"{args.workload}(n={total}, seed={args.seed})"
@@ -496,6 +617,7 @@ def _cmd_stream(args, out) -> int:
             window=args.window,
             leaf_size=args.leaf_size,
             backend=args.backend,
+            plan=plan,
         )
         warm = stream[: args.window]
         describe = f"{args.string_workload}(n={total}, seed={args.seed})"
@@ -567,10 +689,79 @@ def _cmd_stream(args, out) -> int:
         file=out,
     )
     if args.artifact is not None:
-        document = _stream_artifact(args, session, points, seconds)
+        document = _stream_artifact(args, session, points, seconds, plan=plan)
         write_document(document, args.artifact)
         print(f"wrote artifact: {args.artifact}", file=out)
     return 0
+
+
+def _cmd_perf(args, out) -> int:
+    from ..perf import (
+        DEFAULT_SPEEDUP_FLOOR,
+        DEFAULT_TOLERANCE,
+        check_speedup,
+        compare_documents,
+        format_report,
+        run_perf,
+    )
+
+    plan = _resolve_cli_plan(args, required=True)
+    document = run_perf(
+        quick=args.quick,
+        plan=plan,
+        repeats=max(1, int(args.repeats)),
+    )
+    rows = [
+        [
+            point["params"]["case"],
+            point["params"]["group"],
+            f"{point['metrics']['seconds'] * 1000:.1f} ms",
+            f"{point['metrics']['normalized']:.2f}",
+        ]
+        for point in document["points"]
+    ]
+    suffix = " [quick]" if args.quick else ""
+    print(
+        format_block(
+            f"{document['title']}{suffix}",
+            format_table(["case", "group", "seconds", "normalized"], rows),
+        ),
+        file=out,
+    )
+    perf = document["perf"]
+    speedup = perf["multiply_speedup_vs_reference"]
+    print(
+        f"calibration kernel {perf['calibration_seconds'] * 1000:.2f} ms; "
+        f"iterative vs reference multiply speedup at n={perf['headline_n']}: "
+        + (f"{speedup:.2f}x" if speedup is not None else "n/a"),
+        file=out,
+    )
+
+    status = 0
+    if not args.no_check:
+        floor = (
+            args.speedup_floor
+            if args.speedup_floor is not None
+            else (2.0 if args.quick else DEFAULT_SPEEDUP_FLOOR)
+        )
+        failure = check_speedup(document, floor=floor)
+        if failure is not None:
+            print(f"perf speedup check FAILED: {failure}", file=sys.stderr)
+            status = 1
+        if os.path.exists(args.baseline):
+            baseline = load_artifact(args.baseline)
+            tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+            report = compare_documents(document, baseline, tolerance=tolerance)
+            print(format_report(report), file=out if report["ok"] else sys.stderr)
+            if not report["ok"]:
+                status = 1
+        else:
+            print(f"no baseline at {args.baseline}; regression check skipped", file=out)
+
+    if args.json is not None:
+        write_document(document, args.json)
+        print(f"wrote artifact: {args.json}", file=out)
+    return status
 
 
 def _cmd_validate(path: str, out) -> int:
@@ -603,6 +794,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_serve(args, out)
         if args.command == "stream":
             return _cmd_stream(args, out)
+        if args.command == "perf":
+            return _cmd_perf(args, out)
         if args.command == "validate":
             return _cmd_validate(args.path, out)
     except (KeyError, ValueError) as exc:

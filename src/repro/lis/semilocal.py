@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.combine import ColoredPointSet
 from ..core.permutation import SubPermutation
+from ..core.plan import MultiplyPlan
 from ..core.seaweed import multiply
 
 __all__ = [
@@ -91,7 +92,11 @@ def embed_into_universe(
     rows, cols = matrix.points()
     mapped_rows = slots[rows]
     mapped_cols = slots[cols]
-    missing = np.setdiff1d(np.arange(universe, dtype=np.int64), slots, assume_unique=False)
+    # Complement of the occupied slots via boolean-mask scatter (this sits on
+    # the streaming hot path; the old setdiff1d sorted the universe per call).
+    occupied = np.zeros(universe, dtype=bool)
+    occupied[slots] = True
+    missing = np.flatnonzero(~occupied)
     all_rows = np.concatenate([mapped_rows, missing])
     all_cols = np.concatenate([mapped_cols, missing])
     return SubPermutation.from_points(all_rows, all_cols, universe, universe, validate=False)
@@ -298,17 +303,34 @@ def _default_multiply(pa: SubPermutation, pb: SubPermutation) -> SubPermutation:
     return multiply(pa, pb)
 
 
+def _resolve_multiply_fn(
+    multiply_fn: Optional[MultiplyFn], plan: Optional[MultiplyPlan]
+) -> MultiplyFn:
+    """An explicit ``multiply_fn`` wins; otherwise the plan's engine; else default."""
+    if multiply_fn is not None:
+        return multiply_fn
+    if plan is not None:
+        return plan.multiply_fn()
+    return _default_multiply
+
+
 def value_interval_matrix(
     sequence: Sequence[float],
     *,
     strict: bool = True,
     multiply_fn: Optional[MultiplyFn] = None,
+    plan: Optional[MultiplyPlan] = None,
     dense_block_size: int = DENSE_BLOCK_SIZE,
 ) -> SemiLocalLIS:
-    """Semi-local LIS matrix indexed by value ranks (split by position)."""
+    """Semi-local LIS matrix indexed by value ranks (split by position).
+
+    ``plan`` selects the multiply engine and tuning (mechanics only — the
+    built matrix is bit-identical across plans); an explicit ``multiply_fn``
+    overrides it.
+    """
     ranks = rank_transform(sequence, strict=strict)
     positions = np.arange(len(ranks), dtype=np.int64)
-    fn = multiply_fn or _default_multiply
+    fn = _resolve_multiply_fn(multiply_fn, plan)
     matrix = _build_recursive(positions, ranks, fn, dense_block_size)
     return SemiLocalLIS(matrix=matrix, kind="value", length=len(ranks))
 
@@ -318,16 +340,18 @@ def subsegment_matrix(
     *,
     strict: bool = True,
     multiply_fn: Optional[MultiplyFn] = None,
+    plan: Optional[MultiplyPlan] = None,
     dense_block_size: int = DENSE_BLOCK_SIZE,
 ) -> SemiLocalLIS:
     """Semi-local LIS matrix indexed by positions (split by value).
 
     Supports ``query_substring(i, j)`` — the semi-local LIS of
-    Corollary 1.3.2.
+    Corollary 1.3.2.  ``plan`` selects the multiply engine (see
+    :func:`value_interval_matrix`).
     """
     ranks = rank_transform(sequence, strict=strict)
     positions = np.arange(len(ranks), dtype=np.int64)
-    fn = multiply_fn or _default_multiply
+    fn = _resolve_multiply_fn(multiply_fn, plan)
     matrix = _build_recursive(ranks, positions, fn, dense_block_size)
     return SemiLocalLIS(matrix=matrix, kind="position", length=len(ranks))
 

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.permutation import SubPermutation
+from ..core.plan import MultiplyPlan
 from ..core.seaweed import multiply
 from ..lis.semilocal import (
     DENSE_BLOCK_SIZE,
@@ -417,6 +418,10 @@ class SeaweedAggregator:
     multiply_fn:
         The (sub)unit-Monge multiplication used for node merges (defaults to
         the sequential :func:`repro.core.seaweed.multiply`).
+    plan:
+        A :class:`~repro.core.plan.MultiplyPlan` tuning the default multiply
+        (ignored when an explicit ``multiply_fn`` is given).  Mechanics only:
+        every plan yields bit-identical products.
     backend:
         PR-2 execution backend (name or instance) used to fan out multi-leaf
         block builds; answers are bit-identical across backends.
@@ -428,13 +433,19 @@ class SeaweedAggregator:
         strict: bool = True,
         leaf_size: int = DEFAULT_LEAF_SIZE,
         multiply_fn: Optional[MultiplyFn] = None,
+        plan: Optional[MultiplyPlan] = None,
         backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be positive, got {leaf_size}")
         self.strict = bool(strict)
         self.leaf_size = int(leaf_size)
-        self._multiply_fn: MultiplyFn = multiply_fn if multiply_fn is not None else multiply
+        if multiply_fn is not None:
+            self._multiply_fn: MultiplyFn = multiply_fn
+        elif plan is not None:
+            self._multiply_fn = plan.multiply_fn()
+        else:
+            self._multiply_fn = multiply
         self.backend: ExecutionBackend = resolve_backend(backend)
         self.store = NodeStore()
         self.stats = AggregatorStats()

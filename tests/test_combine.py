@@ -82,6 +82,69 @@ class TestColoredPointSet:
         with pytest.raises(ValueError):
             ColoredPointSet(np.array([0]), np.array([0]), np.array([3]), 2, 3, 3)
 
+    def test_dense_table_limit_parameter_forces_tree_path(self, rng):
+        # The per-instance knob (threaded from MultiplyPlan) must select the
+        # sparse color-major path without touching the module default.
+        n = 24
+        rows, cols, colors, expected = make_colored_instance(n, 3, rng)
+        dense = ColoredPointSet(rows, cols, colors, 3, n, n)
+        sparse = ColoredPointSet(rows, cols, colors, 3, n, n, dense_table_limit=0)
+        assert dense._dense_tables is not None
+        assert sparse._dense_tables is None
+        assert dense.combine() == sparse.combine() == expected
+
+    def test_vectorised_counts_match_bruteforce(self, rng):
+        n = 40
+        rows, cols, colors, _ = make_colored_instance(n, 4, rng)
+        ps = ColoredPointSet(rows, cols, colors, 4, n, n, dense_table_limit=0)
+        queries_i = rng.integers(0, n + 1, size=25)
+        queries_j = rng.integers(0, n + 1, size=25)
+        suffix = ps.row_suffix_counts(queries_i)
+        prefix = ps.col_prefix_counts(queries_j)
+        dom = ps.dominance_counts(queries_i, queries_j)
+        for b in range(len(queries_i)):
+            for x in range(4):
+                mask = colors == x
+                assert suffix[b, x] == np.count_nonzero(mask & (rows >= queries_i[b]))
+                assert prefix[b, x] == np.count_nonzero(mask & (cols < queries_j[b]))
+                assert dom[b, x] == np.count_nonzero(
+                    mask & (rows >= queries_i[b]) & (cols < queries_j[b])
+                )
+
+    def test_sparse_and_dense_sigma_agree(self, rng):
+        n = 18
+        rows, cols, colors, _ = make_colored_instance(n, 3, rng)
+        dense = ColoredPointSet(rows, cols, colors, 3, n, n)
+        sparse = ColoredPointSet(rows, cols, colors, 3, n, n, dense_table_limit=0)
+        assert np.array_equal(
+            sigma_from_colored_dense(dense), sigma_from_colored_dense(sparse)
+        )
+
+    def test_nbytes_accounts_for_query_structures(self, rng):
+        n = 30
+        rows, cols, colors, _ = make_colored_instance(n, 3, rng)
+        point_bytes = rows.nbytes + cols.nbytes + colors.nbytes
+        dense = ColoredPointSet(rows, cols, colors, 3, n, n)
+        sparse = ColoredPointSet(rows, cols, colors, 3, n, n, dense_table_limit=0)
+        # Dense tables and the color-major arrays + rank tree both count.
+        assert dense.nbytes >= point_bytes + dense._dense_tables.nbytes
+        assert sparse.nbytes > point_bytes
+        assert sparse.nbytes >= point_bytes + sparse._rank_tree.nbytes
+
+    def test_empty_point_set_paths(self):
+        for limit in (None, 0):
+            ps = ColoredPointSet(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                2, 4, 4,
+                dense_table_limit=limit,
+            )
+            merged = ps.combine()
+            assert merged.num_nonzeros == 0
+            assert np.array_equal(ps.sigma(np.array([0, 4]), np.array([4, 0])), [0, 0])
+            assert ps.nbytes >= 0
+
 
 @settings(max_examples=30, deadline=None)
 @given(

@@ -5,14 +5,20 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
+    MultiplyPlan,
     Permutation,
+    ScratchArena,
     SubPermutation,
+    auto_plan,
     identity_permutation,
     multiply,
     multiply_dense,
     multiply_permutations,
+    multiply_permutations_iterative,
+    multiply_permutations_reference,
     random_permutation,
     random_subpermutation,
+    resolve_plan,
 )
 from repro.core.seaweed import (
     block_boundaries,
@@ -135,6 +141,114 @@ class TestMultiplyGeneral:
         assert multiply(pa, pb) == multiply_permutations(pa, pb)
 
 
+class TestIterativeEngine:
+    """The allocation-lean engine must be bit-identical to the reference."""
+
+    def test_engine_dispatch(self, rng):
+        pa, pb = random_permutation(24, rng), random_permutation(24, rng)
+        via_plan = multiply_permutations(pa, pb, plan=MultiplyPlan(engine="reference"))
+        assert via_plan == multiply_permutations_reference(pa, pb)
+        assert multiply_permutations(pa, pb) == via_plan
+
+    def test_identity_and_empty(self, rng):
+        p = random_permutation(30, rng)
+        ident = identity_permutation(30)
+        assert multiply_permutations_iterative(p, ident) == p
+        assert multiply_permutations_iterative(ident, p) == p
+        empty = Permutation(np.empty(0, dtype=np.int64))
+        assert multiply_permutations_iterative(empty, empty).size == 0
+
+    def test_matches_reference_across_fanins(self, rng):
+        for n in (1, 2, 3, 17, 40, 73):
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            expected = multiply_permutations_reference(pa, pb, fanin=2, base_size=4)
+            for fanin in (2, 3, 5, 8):
+                plan = MultiplyPlan(fanin=fanin, base_size=4)
+                assert multiply_permutations_iterative(pa, pb, plan) == expected
+
+    def test_shared_arena_across_calls(self, rng):
+        arena = ScratchArena()
+        for _ in range(5):
+            n = int(rng.integers(1, 60))
+            pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+            got = multiply_permutations_iterative(
+                pa, pb, MultiplyPlan(base_size=4), arena=arena
+            )
+            assert got == multiply_permutations_reference(pa, pb, base_size=4)
+        assert arena.nbytes > 0
+
+    def test_subpermutations_match_reference_engine(self, rng):
+        reference_plan = MultiplyPlan(engine="reference", base_size=4)
+        iterative_plan = MultiplyPlan(base_size=4)
+        for _ in range(25):
+            n1, n2, n3 = rng.integers(1, 18, size=3)
+            pa = random_subpermutation(int(n1), int(n2), int(rng.integers(0, min(n1, n2) + 1)), rng)
+            pb = random_subpermutation(int(n2), int(n3), int(rng.integers(0, min(n2, n3) + 1)), rng)
+            assert multiply(pa, pb, plan=iterative_plan) == multiply(pa, pb, plan=reference_plan)
+
+    def test_empty_subpermutation_operands(self, rng):
+        pa = SubPermutation.empty(5, 7)
+        pb = random_subpermutation(7, 4, 3, rng)
+        assert multiply(pa, pb) == multiply_dense(pa, pb)
+        assert multiply(pb.transpose(), pa.transpose()) == multiply_dense(
+            pb.transpose(), pa.transpose()
+        )
+
+
+class TestMultiplyPlan:
+    def test_resolution_and_overrides(self):
+        plan = resolve_plan(None, fanin=5, base_size=20)
+        assert plan.fanin == 5 and plan.base_size == 20 and plan.engine == "iterative"
+        assert resolve_plan("default") == MultiplyPlan()
+        assert resolve_plan(plan) is plan
+        with pytest.raises(ValueError):
+            resolve_plan("bogus")
+        with pytest.raises(ValueError):
+            MultiplyPlan(fanin=1)
+        with pytest.raises(ValueError):
+            MultiplyPlan(engine="other")
+
+    def test_auto_plan_is_cached_and_valid(self):
+        first = auto_plan(calibration_size=96)
+        second = auto_plan(calibration_size=96)
+        assert first == second  # process-wide cache
+        assert first.engine == "iterative"
+        assert first.fanin >= 2 and first.base_size >= 1
+
+    def test_reference_engine_respects_dense_table_limit(self, rng):
+        # dense_table_limit=0 forces every reference-engine merge onto the
+        # sparse color-major path; the product must be unchanged.
+        pa, pb = random_permutation(40, rng), random_permutation(40, rng)
+        sparse_plan = MultiplyPlan(engine="reference", base_size=4, dense_table_limit=0)
+        assert multiply_permutations(pa, pb, plan=sparse_plan) == (
+            multiply_permutations_reference(pa, pb, base_size=4)
+        )
+
+    def test_plan_multiply_fn_is_picklable(self, rng):
+        import pickle
+
+        fn = MultiplyPlan(fanin=3, base_size=8).multiply_fn()
+        clone = pickle.loads(pickle.dumps(fn))
+        pa, pb = random_permutation(20, rng), random_permutation(20, rng)
+        assert clone(pa, pb) == multiply_permutations_reference(pa, pb)
+
+
+class TestEngineAcrossBackends:
+    def test_backends_bit_identical_with_plan(self, rng):
+        """serial/thread/process leaf builds with the iterative engine agree."""
+        from repro.streaming import StreamingLIS
+
+        stream = rng.random(300)
+        roots = []
+        for backend in ("serial", "thread", "process"):
+            session = StreamingLIS(
+                window=256, leaf_size=32, backend=backend, plan=MultiplyPlan(base_size=16)
+            )
+            session.push(stream)
+            roots.append(session.to_semilocal().matrix)
+        assert roots[0] == roots[1] == roots[2]
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     n=st.integers(min_value=1, max_value=40),
@@ -165,3 +279,44 @@ def test_subpermutation_multiply_property(dims, seed):
     pa = random_subpermutation(n1, n2, int(rng.integers(0, min(n1, n2) + 1)), rng)
     pb = random_subpermutation(n2, n3, int(rng.integers(0, min(n2, n3) + 1)), rng)
     assert multiply(pa, pb, base_size=4) == multiply_dense(pa, pb)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=48),
+    fanin=st.integers(min_value=2, max_value=8),
+    base_size=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_iterative_engine_bit_identity_property(n, fanin, base_size, seed):
+    """Property: the iterative engine equals the retained recursive oracle
+    for every fan-in and crossover (full-permutation shapes)."""
+    rng = np.random.default_rng(seed)
+    pa, pb = random_permutation(n, rng), random_permutation(n, rng)
+    expected = multiply_permutations_reference(pa, pb, fanin=fanin, base_size=base_size)
+    plan = MultiplyPlan(fanin=fanin, base_size=base_size)
+    assert multiply_permutations_iterative(pa, pb, plan) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dims=st.tuples(
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=1, max_value=14),
+    ),
+    fanin=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_iterative_engine_subpermutation_identity_property(dims, fanin, seed):
+    """Property: engine bit-identity holds through the §4.1 padding reduction
+    (rectangular, empty and sub-permutation shapes)."""
+    n1, n2, n3 = dims
+    rng = np.random.default_rng(seed)
+    pa = random_subpermutation(n1, n2, int(rng.integers(0, min(n1, n2) + 1)), rng)
+    pb = random_subpermutation(n2, n3, int(rng.integers(0, min(n2, n3) + 1)), rng)
+    iterative = multiply(pa, pb, plan=MultiplyPlan(fanin=fanin, base_size=4))
+    reference = multiply(
+        pa, pb, plan=MultiplyPlan(fanin=fanin, base_size=4, engine="reference")
+    )
+    assert iterative == reference == multiply_dense(pa, pb)

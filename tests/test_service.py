@@ -188,6 +188,19 @@ class TestIndexCache:
     def _tiny_index(self, seed):
         return build_lis_index(make_sequence("random", 48, seed=seed))
 
+    def test_nbytes_includes_query_acceleration_structures(self):
+        # The LRU budget must reflect resident memory: the matrix alone is
+        # n*8 bytes, but the ColoredPointSet behind the index (dense tables
+        # or color-major arrays + rank tree) dominates and must be counted.
+        index = self._tiny_index(9)
+        matrix_bytes = index.semilocal.matrix.row_to_col.nbytes
+        points_bytes = index.semilocal._points.nbytes
+        assert points_bytes > 0
+        assert index.nbytes >= matrix_bytes + points_bytes
+        cache = IndexCache(max_bytes=index.nbytes + 1)
+        cache.put(index)
+        assert cache.counters()["current_bytes"] == index.nbytes
+
     def test_hit_miss_and_lru_eviction_counters(self):
         first, second, third = (self._tiny_index(seed) for seed in (1, 2, 3))
         budget = first.nbytes + second.nbytes + third.nbytes // 2
