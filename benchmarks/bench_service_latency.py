@@ -1,0 +1,27 @@
+"""E13 — HTTP front-end latency under open/closed-loop load.
+
+Thin pytest wrapper over the registered ``service_latency`` experiment
+spec.  The spec's cross-point checks assert the serving claims: every HTTP
+answer is bit-identical to a serial ``QueryService`` oracle, no request is
+silently dropped (ok + rejected == issued), latency percentiles are
+non-degenerate and ordered, and answers agree across arrival patterns.  The
+timed kernel is one warm ``POST /v2/batch`` round-trip.
+"""
+
+from repro.experiments import get_spec, run_experiment
+
+from conftest import emit
+
+SPEC = "service_latency"
+
+
+def test_service_latency(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit(
+        f"Service latency (n={result.fixed['n']}, "
+        f"max_inflight={result.fixed['max_inflight']})",
+        result.to_table(),
+    )
+
+    benchmark(spec.timer())

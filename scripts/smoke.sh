@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # One-command smoke check: tier-1 tests, a quick CLI experiment run (serial
 # and process execution backends), a serving batch-mode smoke (build ->
-# cached re-query -> artifact validate), a streaming cold/warm cycle
-# (sliding-window session -> artifact validate), a quick perf pass gated
-# against the recorded results/perf_core.json baseline (cpu-normalised
-# regression check + the >= speedup floor), and schema validation of every
-# artifact — the freshly written ones and everything recorded under
-# results/.  Intended as the CI entry point.
+# cached re-query -> artifact validate), an HTTP front-end smoke (serve-http
+# in the background -> cold/warm POST cycle -> background build poll ->
+# teardown even on failure), the quick service_latency load-generator spec,
+# a streaming cold/warm cycle (sliding-window session -> artifact validate),
+# a quick perf pass gated against the recorded results/perf_core.json
+# baseline (cpu-normalised regression check + the >= speedup floor), and
+# schema validation of every artifact — the freshly written ones and
+# everything recorded under results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,18 @@ SERVICE_ARTIFACT="${4:-/tmp/repro-smoke-service-throughput.json}"
 STREAM_ARTIFACT="${5:-/tmp/repro-smoke-stream.json}"
 STREAMING_ARTIFACT="${6:-/tmp/repro-smoke-streaming-throughput.json}"
 PERF_ARTIFACT="${7:-/tmp/repro-smoke-perf.json}"
+LATENCY_ARTIFACT="${8:-/tmp/repro-smoke-service-latency.json}"
+SERVE_HTTP_PORT="${SERVE_HTTP_PORT:-8077}"
+
+SERVER_PID=""
+cleanup() {
+    # Tear the HTTP server down even when the smoke fails mid-flight.
+    if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+        kill -INT "${SERVER_PID}" 2>/dev/null || true
+        wait "${SERVER_PID}" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
 
 echo "== tier-1 test-suite =="
 python -m pytest -x -q
@@ -44,6 +58,79 @@ python -m repro serve --requests examples/service_requests.json --repeat 2 \
     --artifact "${SERVE_ARTIFACT}"
 
 echo
+echo "== serve-http cycle: background server, cold/warm POST, build poll =="
+python -m repro serve-http --port "${SERVE_HTTP_PORT}" --duration 60 &
+SERVER_PID=$!
+python - "${SERVE_HTTP_PORT}" <<'EOF'
+import json
+import sys
+import time
+import urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+
+def call(method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+for attempt in range(100):
+    try:
+        call("GET", "/healthz")
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("serve-http did not come up within 10s")
+
+document = {
+    "schema": "repro.service.requests",
+    "requests": [
+        {"op": "lis_length", "id": "len", "workload": "random", "n": 1024, "seed": 7},
+        {"op": "substring_query", "id": "sub", "workload": "random", "n": 1024,
+         "seed": 7, "i": [0, 128], "j": [512, 1024]},
+    ],
+}
+cold = call("POST", "/v2/batch", document)
+assert cold["ok"] == 2 and cold["errors"] == 0, cold
+assert not cold["results"][0]["cache_hit"], "cold POST unexpectedly hit the cache"
+warm = call("POST", "/v2/batch", document)
+assert all(entry["cache_hit"] for entry in warm["results"]), "warm POST missed the cache"
+assert [e["result"] for e in cold["results"]] == [e["result"] for e in warm["results"]]
+
+build = call("POST", "/builds", {"workload": "near_sorted", "n": 512, "seed": 5})
+for attempt in range(200):
+    record = call("GET", f"/builds/{build['token']}")
+    if record["status"] in ("done", "failed"):
+        break
+    time.sleep(0.05)
+assert record["status"] == "done", record
+
+stats = call("GET", "/stats")
+assert stats["requests"]["answered"] == 4, stats["requests"]
+assert stats["builds"]["done"] == 1, stats["builds"]
+print(
+    f"serve-http OK: transport={stats['transport']}, "
+    f"{stats['requests']['answered']} answered, cold->warm cache hit verified, "
+    f"background build {build['token']} done"
+)
+EOF
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=""
+
+echo
+echo "== quick service_latency load-generator run -> ${LATENCY_ARTIFACT} =="
+python -m repro run service_latency --quick --json "${LATENCY_ARTIFACT}"
+
+echo
 echo "== quick streaming_throughput run (serial/thread/process grid) -> ${STREAMING_ARTIFACT} =="
 python -m repro run streaming_throughput --quick --json "${STREAMING_ARTIFACT}"
 
@@ -66,6 +153,7 @@ python -m repro validate "${SERVE_ARTIFACT}"
 python -m repro validate "${STREAMING_ARTIFACT}"
 python -m repro validate "${STREAM_ARTIFACT}"
 python -m repro validate "${PERF_ARTIFACT}"
+python -m repro validate "${LATENCY_ARTIFACT}"
 for recorded in results/*.json; do
     python -m repro validate "${recorded}"
 done

@@ -13,6 +13,11 @@ Subcommands
     the :mod:`repro.service` subsystem (index cache + batched execution);
     ``--repeat`` re-submits the batch to demonstrate cache amortisation and
     ``--artifact`` records the outcome as a schema-v1 document.
+``serve-http``
+    Expose the query service over HTTP (:mod:`repro.server`): POST
+    ``/v2/batch`` with the same request schema, request coalescing,
+    admission control with 429 + ``Retry-After`` backpressure, background
+    ``/builds`` and streaming ``/sessions`` routes, live ``/stats``.
 ``stream``
     Drive a sliding-window streaming session (:mod:`repro.streaming`):
     per-tick exact LIS/LCS answers with incremental seaweed recomposition,
@@ -44,6 +49,7 @@ Examples
     $ python -m repro run table1 --quick --workers 4 --set delta=0.5
     $ python -m repro run lis_rounds --quick --backend process
     $ python -m repro serve --requests examples/service_requests.json --repeat 2
+    $ python -m repro serve-http --port 8077 --max-inflight 64
     $ python -m repro stream --ticks 16 --window 4096 --workload random --seed 7
     $ python -m repro stream --session lcs --window 256 --ticks 8
     $ python -m repro perf --quick
@@ -230,6 +236,85 @@ def build_parser() -> argparse.ArgumentParser:
         "(keeps recorded artifacts reproducible from the CLI line alone)",
     )
     _add_plan_arguments(serve_parser)
+
+    serve_http_parser = sub.add_parser(
+        "serve-http",
+        help="expose the query service over HTTP (coalescing + backpressure)",
+    )
+    serve_http_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_http_parser.add_argument(
+        "--port", type=int, default=8077, metavar="P", help="bind port (0 = ephemeral)"
+    )
+    serve_http_parser.add_argument(
+        "--transport",
+        choices=("auto", "asyncio", "thread"),
+        default="auto",
+        help="network transport (auto picks the asyncio codec; answers are "
+        "transport-invariant)",
+    )
+    serve_http_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control cap on concurrently served requests (excess "
+        "batches get 429 + Retry-After)",
+    )
+    serve_http_parser.add_argument(
+        "--build-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="cap on queued background index builds (POST /builds)",
+    )
+    serve_http_parser.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="window in which same-index requests merge into one pass",
+    )
+    serve_http_parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="Retry-After hint (seconds) on 429 responses",
+    )
+    serve_http_parser.add_argument(
+        "--mode",
+        choices=("sequential", "mpc"),
+        default="sequential",
+        help="index build path",
+    )
+    serve_http_parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="execution backend for MPC index builds (wall-clock only)",
+    )
+    serve_http_parser.add_argument("--delta", type=float, default=0.5, help="MPC scalability parameter")
+    serve_http_parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N", help="index cache budget in bytes"
+    )
+    serve_http_parser.add_argument(
+        "--spill", default=None, metavar="DIR", help="spill evicted indexes to .npz files in DIR"
+    )
+    serve_http_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="default seed for named-workload targets that omit 'seed'",
+    )
+    serve_http_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    _add_plan_arguments(serve_http_parser)
 
     stream_parser = sub.add_parser(
         "stream",
@@ -547,6 +632,60 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_serve_http(args, out) -> int:
+    from ..server import start_server
+
+    service = QueryService(
+        cache=IndexCache(
+            max_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
+            spill_dir=args.spill,
+        ),
+        mode=args.mode,
+        delta=args.delta,
+        backend=args.backend,
+        plan=_resolve_cli_plan(args),
+    )
+    handle = start_server(
+        service,
+        host=args.host,
+        port=args.port,
+        transport=args.transport,
+        max_inflight=args.max_inflight,
+        build_queue_limit=args.build_queue,
+        coalesce_seconds=args.coalesce_ms / 1000.0,
+        retry_after_seconds=args.retry_after,
+        default_seed=args.seed,
+    )
+    print(
+        f"listening on {handle.url} (transport={handle.transport}, "
+        f"max_inflight={handle.core.max_inflight}, "
+        f"coalesce={handle.core.coalesce_seconds * 1000:.1f} ms)",
+        file=out,
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(max(0.0, float(args.duration)))
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.stop()
+        stats = handle.core.stats()
+        requests = stats["requests"]
+        print(
+            f"served {requests['answered']}/{requests['received']} requests "
+            f"({requests['rejected']} rejected, {requests['failed']} failed); "
+            f"{stats['coalescing']['merged_passes']} merged passes, "
+            f"{stats['coalescing']['coalesced_requests']} coalesced requests",
+            file=out,
+            flush=True,
+        )
+    return 0
+
+
 def _stream_artifact(args, session, points, seconds: float, plan=None) -> Dict[str, Any]:
     """The streaming outcome as a schema-v1 document (+ ``streaming`` section).
 
@@ -792,6 +931,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "serve-http":
+            return _cmd_serve_http(args, out)
         if args.command == "stream":
             return _cmd_stream(args, out)
         if args.command == "perf":

@@ -1,0 +1,677 @@
+"""Transport-agnostic request handling for the HTTP front-end.
+
+:class:`ServerCore` owns everything the network layer should not care
+about: routing, request coalescing, admission control, background index
+builds, streaming sessions and the timing counters behind ``/stats``.  Both
+transports (:mod:`repro.server.transport`) drive the same
+``await core.handle(method, path, body)`` coroutine, so transport choice
+changes socket mechanics only — never an answer.
+
+Concurrency model
+-----------------
+:class:`~repro.service.serving.QueryService`, the
+:class:`~repro.service.cache.IndexCache` behind it and the streaming
+sessions are single-threaded objects.  The core therefore funnels *all*
+service work through one ``ThreadPoolExecutor(max_workers=1)`` guarded by
+an :class:`asyncio.Lock` — the event loop stays free to accept requests
+while the service thread grinds through builds and passes.
+
+That serialisation is what makes **coalescing** profitable: while one pass
+holds the service lock, every new request against the same
+``(target, kind, strict)`` group key joins the pending
+:class:`_PendingPass` instead of queueing its own.  When the lock frees,
+the pass *seals* (pops itself from the pending map — failures can never
+poison the map for later requests) and answers all contributors in one
+vectorised :meth:`QueryService.submit` call.  Outcomes are demuxed back to
+contributors by position slice, because ``submit`` preserves input order.
+
+**Admission control** counts in-flight *service requests* (not HTTP
+calls): a batch whose size would push the count past ``max_inflight`` is
+rejected whole with ``429`` and a ``Retry-After`` header, never silently
+dropped.  Background index builds are bounded separately by
+``build_queue_limit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import importlib.util
+import itertools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.serialize import to_jsonable
+from ..service import (
+    INDEX_KINDS,
+    QueryRequest,
+    QueryService,
+    ServiceRequestError,
+    TargetSpec,
+    parse_requests_lenient,
+    parse_target,
+)
+from ..streaming import StreamingLCS, StreamingLIS
+
+__all__ = [
+    "BATCH_SCHEMA_ID",
+    "STATS_SCHEMA_ID",
+    "ServerCore",
+    "aiohttp_available",
+]
+
+BATCH_SCHEMA_ID = "repro.server.batch"
+STATS_SCHEMA_ID = "repro.server.stats"
+
+
+def aiohttp_available() -> bool:
+    """Whether the aiohttp transport could be used (recorded in artifacts)."""
+    return importlib.util.find_spec("aiohttp") is not None
+
+
+class _HttpError(Exception):
+    """Abort a request with a structured JSON error response."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+
+
+class _Timing:
+    """Streaming aggregate of one latency component (count / total / max)."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.count += int(count)
+        self.total += float(seconds)
+        self.max = max(self.max, float(seconds))
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": mean,
+            "max_seconds": self.max,
+        }
+
+
+class _PendingPass:
+    """One in-flight vectorised pass that concurrent requests may join.
+
+    Contributors append their requests while the pass waits for the service
+    lock; ``add`` returns each contributor's start offset so the merged
+    outcome list can be sliced back apart (``QueryService.submit`` preserves
+    input positions).
+    """
+
+    __slots__ = ("key", "requests", "contributions", "sealed", "created", "future")
+
+    def __init__(self, key, loop: asyncio.AbstractEventLoop) -> None:
+        self.key = key
+        self.requests: List[QueryRequest] = []
+        self.contributions = 0
+        self.sealed = False
+        self.created = time.perf_counter()
+        self.future: asyncio.Future = loop.create_future()
+
+    def add(self, requests: Sequence[QueryRequest]) -> int:
+        offset = len(self.requests)
+        self.requests.extend(requests)
+        self.contributions += 1
+        return offset
+
+
+class ServerCore:
+    """Routing, coalescing, backpressure and stats for the HTTP front-end."""
+
+    def __init__(
+        self,
+        service: Optional[QueryService] = None,
+        *,
+        max_inflight: int = 64,
+        build_queue_limit: int = 8,
+        coalesce_seconds: float = 0.002,
+        retry_after_seconds: float = 1.0,
+        default_seed: Optional[int] = None,
+        transport: str = "asyncio",
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if build_queue_limit < 1:
+            raise ValueError(f"build_queue_limit must be positive, got {build_queue_limit}")
+        self.service = service if service is not None else QueryService()
+        self.max_inflight = int(max_inflight)
+        self.build_queue_limit = int(build_queue_limit)
+        self.coalesce_seconds = float(coalesce_seconds)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.default_seed = default_seed
+        self.transport = transport
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._service_lock: Optional[asyncio.Lock] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending: Dict[Tuple[TargetSpec, str, bool], _PendingPass] = {}
+        self._builds: Dict[str, Dict[str, Any]] = {}
+        self._build_counter = itertools.count(1)
+        self._sessions: Dict[str, Any] = {}
+        self._session_meta: Dict[str, Dict[str, Any]] = {}
+        self._session_counter = itertools.count(1)
+        self._tasks: set = set()
+        self._started = time.perf_counter()
+
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.requests_received = 0
+        self.requests_answered = 0
+        self.requests_rejected = 0
+        self.requests_failed = 0
+        self.parse_errors = 0
+        self.passes = 0
+        self.merged_passes = 0
+        self.coalesced_requests = 0
+        self.failed_passes = 0
+        self.builds_started = 0
+        self.builds_done = 0
+        self.builds_failed = 0
+        self.internal_errors = 0
+        self.queue_wait = _Timing()
+        self.answer_timing = _Timing()
+        self.build_wait = _Timing()
+
+    # ---------------------------------------------------------------- lifecycle
+    async def startup(self) -> None:
+        """Bind to the running event loop (call once, from that loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._service_lock = asyncio.Lock()
+        # One worker thread == the service's serialisation guarantee.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+
+    async def shutdown(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _spawn(self, coro: Awaitable[Any]) -> None:
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _in_service_thread(self, fn, *args, **kwargs):
+        """Run ``fn`` on the single service thread (never on the event loop)."""
+        return await self._loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    # ------------------------------------------------------------------ routing
+    async def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Answer one HTTP request: ``(status, extra_headers, json_payload)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            payload = await self._route(method.upper(), path, body)
+            return 200, {}, self._encode(payload)
+        except _HttpError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(max(1, int(np.ceil(exc.retry_after))))
+            return exc.status, headers, self._encode(
+                {"error": exc.message, "status": exc.status}
+            )
+        except ServiceRequestError as exc:
+            return 400, {}, self._encode({"error": str(exc), "status": 400})
+        except Exception as exc:  # noqa: BLE001 — the server must stay up
+            self.internal_errors += 1
+            return 500, {}, self._encode(
+                {"error": f"internal error: {type(exc).__name__}: {exc}", "status": 500}
+            )
+
+    async def _route(self, method: str, path: str, body: bytes) -> Any:
+        if method == "GET":
+            if path in ("/", "/healthz"):
+                return {"status": "ok", "transport": self.transport}
+            if path == "/stats":
+                return self.stats()
+            if path == "/builds":
+                return {"builds": [dict(rec) for rec in self._builds.values()]}
+            if path.startswith("/builds/"):
+                return self._get_build(path[len("/builds/"):])
+            if path == "/sessions":
+                return {"sessions": [self._session_state(sid) for sid in self._sessions]}
+            if path.startswith("/sessions/"):
+                return self._session_state(self._session_id(path))
+            raise _HttpError(404, f"no route for GET {path}")
+        if method == "POST":
+            document = self._decode(body)
+            if path == "/v2/batch":
+                return await self._post_batch(document)
+            if path == "/builds":
+                return await self._post_build(document)
+            if path == "/sessions":
+                return await self._post_session(document)
+            if path.startswith("/sessions/") and path.endswith("/push"):
+                sid = self._session_id(path[: -len("/push")])
+                return await self._push_session(sid, document)
+            raise _HttpError(404, f"no route for POST {path}")
+        if method == "DELETE":
+            if path.startswith("/sessions/"):
+                return self._delete_session(self._session_id(path))
+            raise _HttpError(404, f"no route for DELETE {path}")
+        raise _HttpError(405, f"method {method} not allowed")
+
+    @staticmethod
+    def _encode(payload: Any) -> bytes:
+        return json.dumps(to_jsonable(payload)).encode("utf-8")
+
+    @staticmethod
+    def _decode(body: bytes) -> Any:
+        if not body:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
+
+    # ------------------------------------------------------------------- batch
+    async def _post_batch(self, document: Any) -> Dict[str, Any]:
+        received = time.perf_counter()
+        defaults, parsed, errors = parse_requests_lenient(
+            document, default_seed=self.default_seed
+        )
+        self.parse_errors += len(errors)
+        total = len(parsed) + len(errors)
+        self.requests_received += total
+
+        slots: List[Optional[Dict[str, Any]]] = [None] * total
+        for err in errors:
+            slots[err["index"]] = {
+                "id": err["id"],
+                "status": "error",
+                "error": err["error"],
+            }
+
+        if parsed:
+            n = len(parsed)
+            if n > self.max_inflight:
+                self.requests_rejected += total
+                raise _HttpError(
+                    400,
+                    f"batch of {n} requests exceeds --max-inflight={self.max_inflight}; "
+                    f"split the batch",
+                )
+            if self.inflight + n > self.max_inflight:
+                self.requests_rejected += total
+                raise _HttpError(
+                    429,
+                    f"server at capacity ({self.inflight}/{self.max_inflight} "
+                    f"requests in flight)",
+                    retry_after=self.retry_after_seconds,
+                )
+            self.inflight += n
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            try:
+                # Refreshes mutate the cache, so they never coalesce with
+                # other clients; query groups share one pass per group key.
+                groups: Dict[Any, List[Tuple[int, QueryRequest]]] = {}
+                for idx, request in parsed:
+                    if request.op == "refresh":
+                        key = ("refresh", idx)
+                    else:
+                        kind = request.index_kind()
+                        strict = bool(request.strict) if kind != "lcs" else True
+                        key = (request.target, kind, strict)
+                    groups.setdefault(key, []).append((idx, request))
+                waiters = [
+                    self._submit_requests(key, members, received, coalesce=key[0] != "refresh")
+                    for key, members in groups.items()
+                ]
+                for group_slots in await asyncio.gather(*waiters):
+                    for idx, entry in group_slots:
+                        slots[idx] = entry
+            finally:
+                self.inflight -= n
+
+        ok = sum(1 for entry in slots if entry is not None and entry.get("status") == "ok")
+        self.requests_answered += ok
+        self.requests_failed += total - ok
+        return {
+            "schema": BATCH_SCHEMA_ID,
+            "version": 1,
+            "transport": self.transport,
+            "defaults": dict(defaults),
+            "results": slots,
+            "ok": ok,
+            "errors": total - ok,
+            "seconds": time.perf_counter() - received,
+        }
+
+    async def _submit_requests(
+        self,
+        key,
+        members: List[Tuple[int, QueryRequest]],
+        received: float,
+        coalesce: bool,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Answer one group's requests, joining an in-flight pass when possible."""
+        requests = [request for _, request in members]
+        joined = False
+        if coalesce:
+            pending = self._pending.get(key)
+            if pending is not None and not pending.sealed:
+                offset = pending.add(requests)
+                joined = True
+                self.coalesced_requests += len(requests)
+            else:
+                pending = _PendingPass(key, self._loop)
+                offset = pending.add(requests)
+                self._pending[key] = pending
+                self._spawn(self._run_pass(pending, coalescable=True))
+        else:
+            pending = _PendingPass(key, self._loop)
+            offset = pending.add(requests)
+            self._spawn(self._run_pass(pending, coalescable=False))
+
+        try:
+            batch, pass_started, pass_seconds = await asyncio.shield(pending.future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — fault isolation per group
+            message = f"{type(exc).__name__}: {exc}"
+            return [
+                (idx, {"id": request.request_id, "status": "error", "error": message})
+                for idx, request in members
+            ]
+        queue_seconds = pass_started - received
+        self.queue_wait.add(queue_seconds, len(requests))
+        self.answer_timing.add(pass_seconds, len(requests))
+        entries: List[Tuple[int, Dict[str, Any]]] = []
+        for slot, (idx, request) in enumerate(members):
+            outcome = batch.outcomes[offset + slot]
+            entries.append(
+                (
+                    idx,
+                    {
+                        "id": request.request_id,
+                        "status": "ok",
+                        "op": outcome.op,
+                        "target": outcome.target,
+                        "index_kind": outcome.index_kind,
+                        "index_fingerprint": outcome.index_fingerprint,
+                        "cache_hit": outcome.cache_hit,
+                        "num_queries": outcome.num_queries,
+                        "result": outcome.result,
+                        "seconds": outcome.seconds,
+                        "queue_wait_seconds": queue_seconds,
+                        "pass_seconds": pass_seconds,
+                        "coalesced": joined,
+                    },
+                )
+            )
+        return entries
+
+    async def _run_pass(self, pending: _PendingPass, coalescable: bool) -> None:
+        """Seal and execute one pending pass on the service thread."""
+        try:
+            if coalescable and self.coalesce_seconds > 0:
+                # A short open window lets near-simultaneous requests join
+                # even when the service lock is free.
+                await asyncio.sleep(self.coalesce_seconds)
+            async with self._service_lock:
+                pending.sealed = True
+                if self._pending.get(pending.key) is pending:
+                    del self._pending[pending.key]
+                pass_started = time.perf_counter()
+                try:
+                    batch = await self._in_service_thread(
+                        self.service.submit, list(pending.requests)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    self.failed_passes += 1
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+                    return
+                self.passes += 1
+                if pending.contributions > 1:
+                    self.merged_passes += 1
+                if not pending.future.done():
+                    pending.future.set_result(
+                        (batch, pass_started, time.perf_counter() - pass_started)
+                    )
+        finally:
+            # Whatever happened, the fingerprint must not stay poisoned.
+            pending.sealed = True
+            if self._pending.get(pending.key) is pending:
+                del self._pending[pending.key]
+            if not pending.future.done():
+                pending.future.set_exception(
+                    RuntimeError("pass abandoned without a result")
+                )
+
+    # ------------------------------------------------------------------ builds
+    async def _post_build(self, document: Any) -> Dict[str, Any]:
+        if not isinstance(document, dict):
+            raise _HttpError(400, "build request must be a JSON object")
+        queued = sum(
+            1 for rec in self._builds.values() if rec["status"] in ("queued", "running")
+        )
+        if queued >= self.build_queue_limit:
+            raise _HttpError(
+                429,
+                f"build queue full ({queued}/{self.build_queue_limit})",
+                retry_after=self.retry_after_seconds,
+            )
+        target = parse_target(document, "build target", int(self.default_seed or 0))
+        kind = document.get("kind")
+        if kind is not None and kind not in INDEX_KINDS:
+            raise _HttpError(
+                400, f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}"
+            )
+        strict = bool(document.get("strict", True))
+        token = f"b{next(self._build_counter)}"
+        record = {
+            "token": token,
+            "status": "queued",
+            "target": target.describe(),
+            "kind": kind,
+            "strict": strict,
+            "queued_at_seconds": time.perf_counter() - self._started,
+        }
+        self._builds[token] = record
+        self.builds_started += 1
+        self._spawn(self._run_build(token, target, kind, strict))
+        return {"token": token, "status": "queued", "poll": f"/builds/{token}"}
+
+    async def _run_build(
+        self, token: str, target: TargetSpec, kind: Optional[str], strict: bool
+    ) -> None:
+        record = self._builds[token]
+        queued = time.perf_counter()
+        async with self._service_lock:
+            record["status"] = "running"
+            started = time.perf_counter()
+            self.build_wait.add(started - queued)
+            try:
+                index, was_cached = await self._in_service_thread(
+                    self.service.ensure_index, target, kind, strict=strict
+                )
+            except Exception as exc:  # noqa: BLE001
+                record["status"] = "failed"
+                record["error"] = f"{type(exc).__name__}: {exc}"
+                record["seconds"] = time.perf_counter() - started
+                self.builds_failed += 1
+                return
+            record["status"] = "done"
+            record["fingerprint"] = index.fingerprint
+            record["kind"] = index.kind
+            record["cache_hit"] = was_cached
+            record["seconds"] = time.perf_counter() - started
+            self.builds_done += 1
+
+    def _get_build(self, token: str) -> Dict[str, Any]:
+        record = self._builds.get(token)
+        if record is None:
+            raise _HttpError(404, f"unknown build token {token!r}")
+        return dict(record)
+
+    # ---------------------------------------------------------------- sessions
+    @staticmethod
+    def _symbols(values: Any, what: str) -> np.ndarray:
+        try:
+            symbols = np.asarray(values, dtype=np.float64).ravel()
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"{what} must be an array of numbers: {exc}") from None
+        if symbols.size == 0:
+            raise _HttpError(400, f"{what} must be non-empty")
+        return symbols
+
+    @staticmethod
+    def _session_id(path: str) -> str:
+        sid = path[len("/sessions/"):]
+        if not sid or "/" in sid:
+            raise _HttpError(404, f"no route for {path}")
+        return sid
+
+    async def _post_session(self, document: Any) -> Dict[str, Any]:
+        if not isinstance(document, dict):
+            raise _HttpError(400, "session request must be a JSON object")
+        kind = document.get("kind", "lis")
+        if kind not in ("lis", "lcs"):
+            raise _HttpError(400, f"session kind must be 'lis' or 'lcs', got {kind!r}")
+        window = document.get("window")
+        if window is not None:
+            window = int(window)
+        strict = bool(document.get("strict", True))
+        sid = f"s{next(self._session_counter)}"
+        if kind == "lis":
+            session = StreamingLIS(window=window, strict=strict)
+            initial = document.get("push")
+        else:
+            target = parse_target(document, "session target", int(self.default_seed or 0))
+            if target.kind != "string_pair":
+                raise _HttpError(400, "lcs sessions need a string-pair target")
+            s, _t = target.realise()
+            session = StreamingLCS(s, window=window)
+            initial = document.get("push")
+        meta = {
+            "id": sid,
+            "kind": kind,
+            "window": window,
+            "strict": strict if kind == "lis" else True,
+            "target": document.get("string_workload") or document.get("workload"),
+        }
+        initial_symbols = (
+            self._symbols(initial, "'push'") if initial is not None else None
+        )
+        async with self._service_lock:
+            self._sessions[sid] = session
+            self._session_meta[sid] = meta
+            if initial_symbols is not None:
+                await self._in_service_thread(session.push, initial_symbols)
+        return self._session_state(sid)
+
+    async def _push_session(self, sid: str, document: Any) -> Dict[str, Any]:
+        session = self._sessions.get(sid)
+        if session is None:
+            raise _HttpError(404, f"unknown session {sid!r}")
+        if not isinstance(document, dict) or "symbols" not in document:
+            raise _HttpError(400, "push needs a JSON object with 'symbols'")
+        symbols = self._symbols(document["symbols"], "'symbols'")
+        async with self._service_lock:
+            dropped = await self._in_service_thread(session.push, symbols)
+        state = self._session_state(sid)
+        state["dropped"] = int(dropped)
+        return state
+
+    def _session_state(self, sid: str) -> Dict[str, Any]:
+        session = self._sessions.get(sid)
+        if session is None:
+            raise _HttpError(404, f"unknown session {sid!r}")
+        meta = self._session_meta[sid]
+        counters = session.counters()
+        if meta["kind"] == "lis":
+            size = len(session)
+            answer = session.lis_length() if size else 0
+        else:
+            size = session.t_length
+            answer = session.lcs_length() if size else 0
+        return {
+            **meta,
+            "size": int(size),
+            "answer": int(answer),
+            "ticks": int(counters.get("ticks", 0)),
+            "multiplies": int(counters.get("multiplies", 0)),
+            "blocks_built": int(counters.get("blocks_built", 0)),
+        }
+
+    def _delete_session(self, sid: str) -> Dict[str, Any]:
+        if sid not in self._sessions:
+            raise _HttpError(404, f"unknown session {sid!r}")
+        del self._sessions[sid]
+        del self._session_meta[sid]
+        return {"id": sid, "status": "deleted"}
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` document: honest queue depths and timing aggregates."""
+        return {
+            "schema": STATS_SCHEMA_ID,
+            "version": 1,
+            "transport": self.transport,
+            "aiohttp_available": aiohttp_available(),
+            "uptime_seconds": time.perf_counter() - self._started,
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "peak_inflight": self.peak_inflight,
+            "coalesce_seconds": self.coalesce_seconds,
+            "build_queue_limit": self.build_queue_limit,
+            "internal_errors": self.internal_errors,
+            "requests": {
+                "received": self.requests_received,
+                "answered": self.requests_answered,
+                "rejected": self.requests_rejected,
+                "failed": self.requests_failed,
+                "parse_errors": self.parse_errors,
+            },
+            "coalescing": {
+                "passes": self.passes,
+                "merged_passes": self.merged_passes,
+                "coalesced_requests": self.coalesced_requests,
+                "failed_passes": self.failed_passes,
+                "inflight_fingerprints": len(self._pending),
+            },
+            "builds": {
+                "started": self.builds_started,
+                "done": self.builds_done,
+                "failed": self.builds_failed,
+                "queued": sum(
+                    1
+                    for rec in self._builds.values()
+                    if rec["status"] in ("queued", "running")
+                ),
+                "limit": self.build_queue_limit,
+            },
+            "sessions": {"live": len(self._sessions)},
+            "timings": {
+                "queue_wait": self.queue_wait.summary(),
+                "answer": self.answer_timing.summary(),
+                "build_wait": self.build_wait.summary(),
+            },
+            "service": self.service.stats(),
+        }

@@ -1,0 +1,214 @@
+"""In-process load generator for the HTTP front-end.
+
+Drives a running server with the two canonical arrival patterns:
+
+``closed``
+    ``concurrency`` workers each issue the next request as soon as the
+    previous one answers — measures saturated throughput and the latency
+    the server *chooses* under full load.
+``open``
+    Requests arrive on a fixed schedule (``rate`` per second) regardless of
+    completions — measures latency under an offered load the server cannot
+    slow down, the pattern where queueing delay actually shows.
+
+Both report p50/p95/p99/max latency over successful requests, sustained
+QPS, and the per-variant answer payloads so callers can assert bit-identity
+against a serial :class:`~repro.service.serving.QueryService` oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LoadReport", "get_json", "post_json", "run_load"]
+
+
+def post_json(
+    url: str, payload: Any, timeout: float = 30.0
+) -> Tuple[int, Dict[str, str], Any]:
+    """POST a JSON document; returns ``(status, headers, parsed_body)``.
+
+    HTTP error statuses (4xx/5xx) are returned, not raised — the load
+    generator must count 429s, not crash on them.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.load(response)
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": raw.decode("utf-8", "replace")}
+        return exc.code, dict(exc.headers), parsed
+
+
+def get_json(url: str, timeout: float = 30.0) -> Tuple[int, Dict[str, str], Any]:
+    """GET a JSON document; returns ``(status, headers, parsed_body)``."""
+    request = urllib.request.Request(url, method="GET")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.load(response)
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": raw.decode("utf-8", "replace")}
+        return exc.code, dict(exc.headers), parsed
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    pattern: str
+    requests: int
+    ok: int
+    rejected: int
+    failed: int
+    seconds: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    #: ``variant index -> list of per-request 'results' arrays`` (for
+    #: bit-identity assertions against a serial oracle).
+    answers: Dict[int, List[Any]] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "seconds": self.seconds,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def run_load(
+    url: str,
+    documents: Sequence[Any],
+    *,
+    pattern: str = "closed",
+    total: int = 64,
+    concurrency: int = 8,
+    rate: float = 64.0,
+    duration: float = 1.0,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``POST {url}/v2/batch`` with ``documents`` cycled round-robin.
+
+    ``closed``: ``total`` requests split across ``concurrency`` workers.
+    ``open``: arrivals scheduled every ``1/rate`` seconds for ``duration``
+    seconds (``total`` caps the request count).
+    """
+    if pattern not in ("closed", "open"):
+        raise ValueError(f"pattern must be 'closed' or 'open', got {pattern!r}")
+    if not documents:
+        raise ValueError("documents must be non-empty")
+    endpoint = url.rstrip("/") + "/v2/batch"
+
+    latencies: List[float] = []
+    outcomes = {"ok": 0, "rejected": 0, "failed": 0}
+    answers: Dict[int, List[Any]] = {}
+    lock = threading.Lock()
+
+    def fire(variant: int) -> None:
+        started = time.perf_counter()
+        try:
+            status, _headers, parsed = post_json(
+                endpoint, documents[variant], timeout=timeout
+            )
+        except Exception:  # noqa: BLE001 — connection failures count as failed
+            with lock:
+                outcomes["failed"] += 1
+            return
+        elapsed = time.perf_counter() - started
+        with lock:
+            if status == 200:
+                outcomes["ok"] += 1
+                latencies.append(elapsed)
+                answers.setdefault(variant, []).append(
+                    [entry.get("result") for entry in parsed.get("results", [])]
+                )
+            elif status == 429:
+                outcomes["rejected"] += 1
+            else:
+                outcomes["failed"] += 1
+
+    started = time.perf_counter()
+    if pattern == "closed":
+        counter = {"next": 0}
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    n = counter["next"]
+                    if n >= total:
+                        return
+                    counter["next"] = n + 1
+                fire(n % len(documents))
+
+        threads = [threading.Thread(target=worker) for _ in range(max(1, concurrency))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        issued = total
+    else:
+        interval = 1.0 / max(rate, 1e-9)
+        count = min(int(total), max(1, int(np.floor(duration * rate))))
+        with ThreadPoolExecutor(max_workers=max(4, concurrency)) as pool:
+            futures = []
+            for n in range(count):
+                target_time = started + n * interval
+                delay = target_time - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(fire, n % len(documents)))
+            for future in futures:
+                future.result()
+        issued = count
+    seconds = time.perf_counter() - started
+
+    if latencies:
+        arr = np.asarray(latencies, dtype=np.float64) * 1000.0
+        p50, p95, p99 = (float(np.percentile(arr, q)) for q in (50, 95, 99))
+        mx = float(arr.max())
+    else:
+        p50 = p95 = p99 = mx = 0.0
+    return LoadReport(
+        pattern=pattern,
+        requests=issued,
+        ok=outcomes["ok"],
+        rejected=outcomes["rejected"],
+        failed=outcomes["failed"],
+        seconds=seconds,
+        qps=outcomes["ok"] / seconds if seconds > 0 else 0.0,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        max_ms=mx,
+        answers=answers,
+    )

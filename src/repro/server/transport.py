@@ -1,0 +1,240 @@
+"""Network transports for the HTTP front-end.
+
+Two stdlib transports drive the same :class:`~repro.server.core.ServerCore`:
+
+``asyncio`` (default)
+    ``asyncio.start_server`` with a minimal HTTP/1.1 codec, run on a
+    dedicated event-loop thread so :func:`start_server` works from
+    synchronous callers (tests, the CLI, the load generator).
+``thread``
+    ``http.server.ThreadingHTTPServer`` whose handler threads bridge each
+    request into the core's event loop with
+    ``asyncio.run_coroutine_threadsafe`` — the fallback shape for
+    environments where the asyncio codec is undesirable.
+
+aiohttp would be the preferred transport but is not installed in this
+environment; :func:`detect_transport` records that fact so artifacts stay
+honest about what actually served the traffic
+(:func:`repro.server.core.aiohttp_available`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from ..service import QueryService
+from .core import ServerCore
+
+__all__ = ["TRANSPORTS", "ServerHandle", "detect_transport", "start_server"]
+
+#: The transports this build can actually serve with (stdlib only).
+TRANSPORTS = ("asyncio", "thread")
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def detect_transport(requested: Optional[str] = None) -> str:
+    """Resolve a transport name (``None``/``'auto'`` → best available)."""
+    if requested in (None, "auto"):
+        # aiohttp, were it installed, would win here; the stdlib asyncio
+        # codec is the best always-available option.
+        return "asyncio"
+    if requested not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {requested!r}; expected one of {TRANSPORTS + ('auto',)}"
+        )
+    return requested
+
+
+@dataclass
+class ServerHandle:
+    """A running server: address, core (for stats) and a stop switch."""
+
+    core: ServerCore
+    host: str
+    port: int
+    transport: str
+    _stop: Callable[[], None] = field(repr=False, default=lambda: None)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        self._stop()
+
+
+async def _serve_connection(
+    core: ServerCore, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """One HTTP/1.1 exchange over the asyncio transport (close after answer)."""
+    try:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        try:
+            method, path, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            writer.write(b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+            await writer.drain()
+            return
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_BODY_BYTES:
+            writer.write(b"HTTP/1.1 413 Payload Too Large\r\nContent-Length: 0\r\n\r\n")
+            await writer.drain()
+            return
+        body = await reader.readexactly(content_length) if content_length else b""
+        status, extra_headers, payload = await core.handle(method, path, body)
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 429: "Too Many Requests",
+                  500: "Internal Server Error"}.get(status, "OK")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+    except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _start_asyncio(core: ServerCore, host: str, port: int):
+    """Run ``asyncio.start_server`` on a dedicated event-loop thread."""
+    ready = threading.Event()
+    bound = {}
+    stop_event: dict = {}
+
+    async def main() -> None:
+        await core.startup()
+        stop_event["event"] = asyncio.Event()
+        stop_event["loop"] = asyncio.get_running_loop()
+        server = await asyncio.start_server(
+            lambda r, w: _serve_connection(core, r, w), host, port
+        )
+        bound["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+        try:
+            async with server:
+                await stop_event["event"].wait()
+        finally:
+            await core.shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("asyncio transport failed to start within 30s")
+
+    def stop() -> None:
+        loop = stop_event.get("loop")
+        event = stop_event.get("event")
+        if loop is not None and event is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(event.set)
+        thread.join(timeout=10)
+
+    return bound["port"], stop
+
+
+def _start_thread(core: ServerCore, host: str, port: int):
+    """ThreadingHTTPServer whose handlers bridge into the core's event loop."""
+    loop = asyncio.new_event_loop()
+    loop_thread = threading.Thread(target=loop.run_forever, daemon=True)
+    loop_thread.start()
+    asyncio.run_coroutine_threadsafe(core.startup(), loop).result(timeout=30)
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self) -> None:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length > _MAX_BODY_BYTES:
+                self.send_error(413)
+                return
+            body = self.rfile.read(length) if length else b""
+            status, extra_headers, payload = asyncio.run_coroutine_threadsafe(
+                core.handle(self.command, self.path, body), loop
+            ).result(timeout=300)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        do_GET = do_POST = do_DELETE = _dispatch
+
+        def log_message(self, *args) -> None:  # noqa: D102 — keep stdio clean
+            pass
+
+    httpd = ThreadingHTTPServer((host, port), Handler)
+    httpd.daemon_threads = True
+    serve_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    serve_thread.start()
+
+    def stop() -> None:
+        httpd.shutdown()
+        httpd.server_close()
+        serve_thread.join(timeout=10)
+        asyncio.run_coroutine_threadsafe(core.shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        loop_thread.join(timeout=10)
+        loop.close()
+
+    return httpd.server_address[1], stop
+
+
+def start_server(
+    service: Optional[QueryService] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    transport: Optional[str] = None,
+    max_inflight: int = 64,
+    build_queue_limit: int = 8,
+    coalesce_seconds: float = 0.002,
+    retry_after_seconds: float = 1.0,
+    default_seed: Optional[int] = None,
+) -> ServerHandle:
+    """Start an HTTP front-end; returns a :class:`ServerHandle` (``port=0`` ⇒ ephemeral).
+
+    The caller owns the handle: ``handle.stop()`` tears the transport and the
+    core down (idempotent teardown is the transports' problem, not yours).
+    """
+    resolved = detect_transport(transport)
+    core = ServerCore(
+        service,
+        max_inflight=max_inflight,
+        build_queue_limit=build_queue_limit,
+        coalesce_seconds=coalesce_seconds,
+        retry_after_seconds=retry_after_seconds,
+        default_seed=default_seed,
+        transport=resolved,
+    )
+    if resolved == "asyncio":
+        bound_port, stop = _start_asyncio(core, host, port)
+    else:
+        bound_port, stop = _start_thread(core, host, port)
+    return ServerHandle(core=core, host=host, port=bound_port, transport=resolved, _stop=stop)

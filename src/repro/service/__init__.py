@@ -43,6 +43,8 @@ from .requests import (
     ServiceRequestError,
     TargetSpec,
     parse_requests_document,
+    parse_requests_lenient,
+    parse_target,
 )
 from .serving import QueryService, RequestOutcome, ServiceBatchResult
 
@@ -66,6 +68,8 @@ __all__ = [
     "ServiceRequestError",
     "TargetSpec",
     "parse_requests_document",
+    "parse_requests_lenient",
+    "parse_target",
     "QueryService",
     "RequestOutcome",
     "ServiceBatchResult",

@@ -65,6 +65,8 @@ __all__ = [
     "TargetSpec",
     "QueryRequest",
     "parse_requests_document",
+    "parse_requests_lenient",
+    "parse_target",
 ]
 
 REQUESTS_SCHEMA_ID = "repro.service.requests"
@@ -266,20 +268,22 @@ def _parse_request(doc: Mapping[str, Any], idx: int, default_seed: int = 0) -> Q
     return request
 
 
-def parse_requests_document(
-    document: Any,
-    *,
-    default_seed: Optional[int] = None,
-) -> Tuple[Dict[str, Any], List[QueryRequest]]:
-    """Validate a batch document; returns ``(defaults, requests)``.
+def parse_target(doc: Mapping[str, Any], where: str = "target", default_seed: int = 0) -> TargetSpec:
+    """Parse one target description (the workload/inline keys of a request).
 
-    ``defaults`` are service-configuration hints (``mode`` / ``delta`` /
-    ``backend`` / ``cache_bytes`` / ``spill_dir``) that the CLI merges under
-    its own flags.  ``default_seed`` (the CLI ``--seed`` flag) applies to
-    named-workload targets that omit an explicit ``seed``; the document's
-    own ``defaults.seed`` takes precedence over the built-in 0 but not over
-    the explicit argument.
+    Public wrapper used by callers (the HTTP server's ``/builds`` and
+    ``/sessions`` routes) that need a :class:`TargetSpec` without a full
+    request envelope around it.
     """
+    if not isinstance(doc, Mapping):
+        raise ServiceRequestError(f"{where} must be an object")
+    return _parse_target(doc, where, default_seed)
+
+
+def _parse_envelope(
+    document: Any, default_seed: Optional[int]
+) -> Tuple[Dict[str, Any], list, int]:
+    """Validate the batch envelope; returns ``(defaults, raw_requests, seed)``."""
     if not isinstance(document, Mapping):
         raise ServiceRequestError("the requests document must be a JSON object")
     schema = document.get("schema", REQUESTS_SCHEMA_ID)
@@ -301,6 +305,54 @@ def parse_requests_document(
         raise ServiceRequestError("'requests' must be a non-empty array")
     if default_seed is None:
         default_seed = int(defaults.get("seed", 0))
-    return dict(defaults), [
-        _parse_request(entry, idx, int(default_seed)) for idx, entry in enumerate(raw)
-    ]
+    return dict(defaults), raw, int(default_seed)
+
+
+def parse_requests_document(
+    document: Any,
+    *,
+    default_seed: Optional[int] = None,
+) -> Tuple[Dict[str, Any], List[QueryRequest]]:
+    """Validate a batch document; returns ``(defaults, requests)``.
+
+    ``defaults`` are service-configuration hints (``mode`` / ``delta`` /
+    ``backend`` / ``cache_bytes`` / ``spill_dir``) that the CLI merges under
+    its own flags.  ``default_seed`` (the CLI ``--seed`` flag) applies to
+    named-workload targets that omit an explicit ``seed``; the document's
+    own ``defaults.seed`` takes precedence over the built-in 0 but not over
+    the explicit argument.
+
+    The first malformed request aborts the whole batch (strict mode — the
+    CLI's file-in/artifact-out path wants all-or-nothing semantics).  Online
+    callers that must answer the well-formed subset anyway should use
+    :func:`parse_requests_lenient`.
+    """
+    defaults, raw, seed = _parse_envelope(document, default_seed)
+    return defaults, [_parse_request(entry, idx, seed) for idx, entry in enumerate(raw)]
+
+
+def parse_requests_lenient(
+    document: Any,
+    *,
+    default_seed: Optional[int] = None,
+) -> Tuple[Dict[str, Any], List[Tuple[int, QueryRequest]], List[Dict[str, Any]]]:
+    """Like :func:`parse_requests_document`, but per-request errors don't abort.
+
+    A malformed envelope (wrong schema, empty ``requests`` array, …) still
+    raises — there is nothing sensible to salvage.  A malformed *entry*
+    inside an otherwise-valid batch instead lands in the returned error
+    list, so one bad op in a 100-request batch costs one error slot instead
+    of the whole batch.  Returns ``(defaults, parsed, errors)`` where
+    ``parsed`` is ``[(index, request)]`` (original batch positions) and each
+    error is ``{"index", "id", "error"}``.
+    """
+    defaults, raw, seed = _parse_envelope(document, default_seed)
+    parsed: List[Tuple[int, QueryRequest]] = []
+    errors: List[Dict[str, Any]] = []
+    for idx, entry in enumerate(raw):
+        try:
+            parsed.append((idx, _parse_request(entry, idx, seed)))
+        except ServiceRequestError as exc:
+            rid = entry.get("id", f"r{idx}") if isinstance(entry, Mapping) else f"r{idx}"
+            errors.append({"index": idx, "id": str(rid), "error": str(exc)})
+    return defaults, parsed, errors

@@ -34,6 +34,7 @@ from ..lis.semilocal import validate_intervals
 from ..streaming.recompose import extend_value_matrix
 from .cache import IndexCache
 from .index import (
+    INDEX_KINDS,
     SemiLocalIndex,
     build_lcs_index,
     build_lis_index,
@@ -188,6 +189,29 @@ class QueryService:
             self.indexes_built += 1
             self.build_seconds += float(index.provenance.get("build_seconds", 0.0))
         return index, was_cached
+
+    def ensure_index(
+        self, target: TargetSpec, kind: Optional[str] = None, *, strict: bool = True
+    ) -> Tuple[SemiLocalIndex, bool]:
+        """Build (or fetch) the index for ``target``; returns ``(index, was_cached)``.
+
+        The public warm-up entry point: background build routes call this to
+        pay the build cost ahead of queries.  ``kind`` defaults to the only
+        sensible kind for the target (``'lcs'`` for string pairs,
+        ``'lis:position'`` for sequences).
+        """
+        if kind is None:
+            kind = "lcs" if target.kind == "string_pair" else "lis:position"
+        if kind not in INDEX_KINDS:
+            raise ServiceRequestError(
+                f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}"
+            )
+        if (kind == "lcs") != (target.kind == "string_pair"):
+            raise ServiceRequestError(
+                f"index kind {kind!r} does not fit a {target.kind!r} target"
+            )
+        strict = True if kind == "lcs" else bool(strict)
+        return self._get_index(target, kind, strict)
 
     # ----------------------------------------------------------------- refresh
     def refresh(

@@ -262,6 +262,9 @@ SPEC_EXCLUSIONS = {
     "(and tests/test_service.py covers the per-backend answers)",
     "streaming_throughput": "sweeps the backend itself; its own checks assert identity "
     "(and tests/test_streaming.py covers the per-backend answers)",
+    "service_latency": "no cluster backend knob: measures the HTTP front-end, whose "
+    "answers are oracle-checked inside the point (and tests/test_server.py covers "
+    "transport identity)",
 }
 
 

@@ -655,3 +655,102 @@ class TestServiceThroughputSpec:
         ]
         with pytest.raises(AssertionError, match="diverge"):
             check_service_throughput(points)
+
+
+# ------------------------------------------------------- lenient parsing (v2)
+class TestLenientParsing:
+    """The per-request validation gap: one bad op must not abort the batch."""
+
+    def _batch(self, bad_entry):
+        return {
+            "schema": "repro.service.requests",
+            "version": 2,
+            "requests": [
+                {"op": "lis_length", "id": "good0", "workload": "random", "n": 64, "seed": 7},
+                bad_entry,
+                {"op": "substring_query", "id": "good2", "workload": "random", "n": 64,
+                 "seed": 7, "i": 0, "j": 32},
+            ],
+        }
+
+    def test_malformed_op_becomes_per_request_error(self):
+        from repro.service import parse_requests_lenient
+
+        document = self._batch({"op": "bogus", "id": "bad1", "workload": "random", "n": 64})
+        defaults, parsed, errors = parse_requests_lenient(document)
+        assert [idx for idx, _ in parsed] == [0, 2]
+        assert [request.request_id for _, request in parsed] == ["good0", "good2"]
+        assert len(errors) == 1
+        assert errors[0]["index"] == 1 and errors[0]["id"] == "bad1"
+        assert "unknown op" in errors[0]["error"]
+
+    @pytest.mark.parametrize(
+        "bad_entry",
+        [
+            {"op": "lis_length"},  # no target
+            {"op": "substring_query", "workload": "random", "n": 64},  # missing i/j
+            {"op": "lis_length", "string_workload": "correlated_pair", "n": 64},  # kind mismatch
+            "not-an-object",
+            {"op": "lis_length", "workload": "nope", "n": 64},  # unknown workload
+        ],
+    )
+    def test_every_malformation_is_isolated(self, bad_entry):
+        from repro.service import parse_requests_lenient
+
+        _, parsed, errors = parse_requests_lenient(self._batch(bad_entry))
+        assert len(parsed) == 2 and len(errors) == 1
+        assert errors[0]["index"] == 1
+
+    def test_strict_parser_still_aborts_whole_batch(self):
+        # Pins the historical strict behaviour the CLI depends on.
+        document = self._batch({"op": "bogus", "workload": "random", "n": 64})
+        with pytest.raises(ServiceRequestError, match="unknown op"):
+            parse_requests_document(document)
+
+    def test_malformed_envelope_still_raises(self):
+        from repro.service import parse_requests_lenient
+
+        for document in ({"schema": "wrong"}, {"requests": []}, [], {"requests": "x"}):
+            with pytest.raises(ServiceRequestError):
+                parse_requests_lenient(document)
+
+    def test_anonymous_bad_entries_get_positional_ids(self):
+        from repro.service import parse_requests_lenient
+
+        _, _, errors = parse_requests_lenient(self._batch({"op": "bogus", "workload": "random", "n": 4}))
+        assert errors[0]["id"] == "r1"
+
+
+# ------------------------------------------------------------- ensure_index
+class TestEnsureIndex:
+    def test_defaults_kind_by_target_and_caches(self):
+        service = QueryService(cache=IndexCache())
+        target = TargetSpec(kind="sequence", workload="random", n=128, seed=7)
+        index, was_cached = service.ensure_index(target)
+        assert index.kind == "lis:position" and not was_cached
+        again, was_cached = service.ensure_index(target)
+        assert was_cached and again.fingerprint == index.fingerprint
+
+        pair = TargetSpec(kind="string_pair", workload="correlated_pair", n=64, seed=3)
+        index, _ = service.ensure_index(pair)
+        assert index.kind == "lcs"
+
+    def test_rejects_incompatible_kind(self):
+        service = QueryService(cache=IndexCache())
+        sequence = TargetSpec(kind="sequence", workload="random", n=64, seed=7)
+        pair = TargetSpec(kind="string_pair", workload="correlated_pair", n=64, seed=3)
+        with pytest.raises(ServiceRequestError, match="does not fit"):
+            service.ensure_index(sequence, "lcs")
+        with pytest.raises(ServiceRequestError, match="does not fit"):
+            service.ensure_index(pair, "lis:position")
+        with pytest.raises(ServiceRequestError, match="unknown index kind"):
+            service.ensure_index(sequence, "bogus")
+
+    def test_shares_fingerprints_with_submit(self):
+        service = QueryService(cache=IndexCache())
+        target = TargetSpec(kind="sequence", workload="random", n=128, seed=7)
+        service.ensure_index(target, "lis:position")
+        batch = service.submit(
+            [QueryRequest(op="lis_length", target=target, request_id="q")]
+        )
+        assert batch.outcomes[0].cache_hit
