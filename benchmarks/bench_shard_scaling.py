@@ -1,0 +1,29 @@
+"""E14 — Sharded serving tier: 1→N worker scaling of mixed batches.
+
+Thin pytest wrapper over the registered ``shard_scaling`` experiment spec.
+The spec's cross-point checks assert the sharding claims: answers are
+bit-identical to a serial ``QueryService`` oracle at every shard count (one
+checksum across the whole grid), every shard serves at least one request
+(the consistent-hash ring genuinely fans the mixed batch out), no worker
+restarts occur on the healthy path, and single-core hosts record an honest
+pool-overhead note instead of a fictitious speedup.  The timed kernel is
+one warm routed ``submit`` of the mixed batch through an in-process
+two-shard router.
+"""
+
+from repro.experiments import get_spec, run_experiment
+
+from conftest import emit
+
+SPEC = "shard_scaling"
+
+
+def test_shard_scaling(benchmark):
+    spec = get_spec(SPEC)
+    result = run_experiment(spec)
+    emit(
+        f"Shard scaling (n={result.fixed['n']}, rounds={result.fixed['rounds']})",
+        result.to_table(),
+    )
+
+    benchmark(spec.timer())

@@ -3,12 +3,15 @@
 # and process execution backends), a serving batch-mode smoke (build ->
 # cached re-query -> artifact validate), an HTTP front-end smoke (serve-http
 # in the background -> cold/warm POST cycle -> background build poll ->
-# teardown even on failure), the quick service_latency load-generator spec,
-# a streaming cold/warm cycle (sliding-window session -> artifact validate),
-# a quick perf pass gated against the recorded results/perf_core.json
-# baseline (cpu-normalised regression check + the >= speedup floor), and
-# schema validation of every artifact — the freshly written ones and
-# everything recorded under results/.  Intended as the CI entry point.
+# teardown even on failure), a sharded serve-http cycle (--shards 2: health
+# poll, cold/warm POST, per-shard /stats assertions, trap teardown), the
+# quick service_latency load-generator spec, the quick shard_scaling spec
+# (cross-shard-count answer checksum identity), a streaming cold/warm cycle
+# (sliding-window session -> artifact validate), a quick perf pass gated
+# against the recorded results/perf_core.json baseline (cpu-normalised
+# regression check + the >= speedup floor), and schema validation of every
+# artifact — the freshly written ones and everything recorded under
+# results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +24,9 @@ STREAM_ARTIFACT="${5:-/tmp/repro-smoke-stream.json}"
 STREAMING_ARTIFACT="${6:-/tmp/repro-smoke-streaming-throughput.json}"
 PERF_ARTIFACT="${7:-/tmp/repro-smoke-perf.json}"
 LATENCY_ARTIFACT="${8:-/tmp/repro-smoke-service-latency.json}"
+SHARD_ARTIFACT="${9:-/tmp/repro-smoke-shard-scaling.json}"
 SERVE_HTTP_PORT="${SERVE_HTTP_PORT:-8077}"
+SHARD_HTTP_PORT="${SHARD_HTTP_PORT:-8078}"
 
 SERVER_PID=""
 cleanup() {
@@ -127,8 +132,82 @@ wait "${SERVER_PID}"
 SERVER_PID=""
 
 echo
+echo "== sharded serve-http cycle (--shards 2): cold/warm POST, per-shard stats =="
+python -m repro serve-http --port "${SHARD_HTTP_PORT}" --shards 2 --duration 60 &
+SERVER_PID=$!
+python - "${SHARD_HTTP_PORT}" <<'EOF'
+import json
+import sys
+import time
+import urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+
+def call(method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+for attempt in range(100):
+    try:
+        call("GET", "/healthz")
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("sharded serve-http did not come up within 10s")
+
+# Several distinct fingerprints so both shards get routed traffic.
+document = {
+    "schema": "repro.service.requests",
+    "requests": [
+        {"op": "lis_length", "id": f"len{seed}", "workload": "random",
+         "n": 512, "seed": seed}
+        for seed in range(6)
+    ] + [
+        {"op": "lcs_length", "id": "lcs", "string_workload": "correlated_pair",
+         "n": 128, "seed": 3},
+    ],
+}
+cold = call("POST", "/v2/batch", document)
+assert cold["ok"] == 7 and cold["errors"] == 0, cold
+warm = call("POST", "/v2/batch", document)
+assert all(entry["cache_hit"] for entry in warm["results"]), "warm POST missed the shard caches"
+assert [e["result"] for e in cold["results"]] == [e["result"] for e in warm["results"]]
+
+stats = call("GET", "/stats")
+service = stats["service"]
+assert stats["service_concurrency"] == 2, stats["service_concurrency"]
+assert service["sharded"] and service["shards"] == 2, service
+assert sum(service["load"]["per_shard_requests"]) == 14, service["load"]
+assert service["load"]["shards_exercised"] == 2, service["load"]
+assert service["restarts"] == 0, service["restarts"]
+timings = service["router_timings"]
+assert timings["shard_exec"]["total_seconds"] > 0.0, timings
+print(
+    f"sharded serve-http OK: workers={service['workers']}, "
+    f"per-shard requests={service['load']['per_shard_requests']}, "
+    f"cold->warm shard-cache hit verified"
+)
+EOF
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=""
+
+echo
 echo "== quick service_latency load-generator run -> ${LATENCY_ARTIFACT} =="
 python -m repro run service_latency --quick --json "${LATENCY_ARTIFACT}"
+
+echo
+echo "== quick shard_scaling run (answers shard-invariant) -> ${SHARD_ARTIFACT} =="
+python -m repro run shard_scaling --quick --json "${SHARD_ARTIFACT}"
 
 echo
 echo "== quick streaming_throughput run (serial/thread/process grid) -> ${STREAMING_ARTIFACT} =="
@@ -154,6 +233,7 @@ python -m repro validate "${STREAMING_ARTIFACT}"
 python -m repro validate "${STREAM_ARTIFACT}"
 python -m repro validate "${PERF_ARTIFACT}"
 python -m repro validate "${LATENCY_ARTIFACT}"
+python -m repro validate "${SHARD_ARTIFACT}"
 for recorded in results/*.json; do
     python -m repro validate "${recorded}"
 done

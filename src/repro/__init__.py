@@ -31,7 +31,7 @@ Public API highlights
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import (
     analysis,

@@ -72,6 +72,7 @@ from ..service import (
     DEFAULT_CACHE_BYTES,
     IndexCache,
     QueryService,
+    ShardRouter,
     parse_requests_document,
 )
 from .artifacts import (
@@ -120,6 +121,36 @@ def _resolve_cli_plan(args, *, required: bool = False):
     if not required and args.plan is None and args.fanin is None and args.base_size is None:
         return None
     return resolve_plan(args.plan, fanin=args.fanin, base_size=args.base_size)
+
+
+def _build_cli_service(args, *, mode, delta, backend, cache_bytes, spill_dir):
+    """A single-process service, or — with ``--shards N`` — a shard router.
+
+    The router receives the *raw* plan spec (not a resolved plan): each
+    worker resolves it once at its own startup, so ``--plan auto``
+    calibrates once per worker process, never in the parent and never per
+    request.
+    """
+    shards = int(getattr(args, "shards", 0) or 0)
+    if shards > 0:
+        return ShardRouter(
+            shards,
+            mode=mode,
+            delta=delta,
+            backend=backend,
+            plan=args.plan,
+            fanin=args.fanin,
+            base_size=args.base_size,
+            cache_bytes=cache_bytes,
+            spill_dir=spill_dir,
+        )
+    return QueryService(
+        cache=IndexCache(max_bytes=cache_bytes, spill_dir=spill_dir),
+        mode=mode,
+        delta=delta,
+        backend=backend,
+        plan=_resolve_cli_plan(args),
+    )
 
 
 def _parse_scalar(text: str) -> Any:
@@ -235,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default seed for named-workload targets that omit 'seed' "
         "(keeps recorded artifacts reproducible from the CLI line alone)",
     )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="consistent-hash the batch across N sharded worker processes, "
+        "each with a private index cache (0 = single-process service; "
+        "answers are shard-invariant)",
+    )
     _add_plan_arguments(serve_parser)
 
     serve_http_parser = sub.add_parser(
@@ -313,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    serve_http_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route index fingerprints across N sharded worker processes "
+        "(0 = single-process service; answers are shard-invariant and "
+        "/stats gains a per-shard section)",
     )
     _add_plan_arguments(serve_http_parser)
 
@@ -551,6 +600,7 @@ def _serve_artifact(args, service, batches, seconds: float) -> Dict[str, Any]:
             "delta": stats["delta"],
             "backend": stats["backend"],
             "cache_max_bytes": stats["cache"]["max_bytes"],
+            "shards": int(stats.get("shards", 0)) if stats.get("sharded") else 0,
         },
         quick=False,
         workers=1,
@@ -578,72 +628,79 @@ def _cmd_serve(args, out) -> int:
         else int(defaults.get("cache_bytes", DEFAULT_CACHE_BYTES))
     )
     spill_dir = args.spill if args.spill is not None else defaults.get("spill_dir")
-    service = QueryService(
-        cache=IndexCache(max_bytes=cache_bytes, spill_dir=spill_dir),
+    service = _build_cli_service(
+        args,
         mode=mode,
         delta=delta,
         backend=backend,
-        plan=_resolve_cli_plan(args),
+        cache_bytes=cache_bytes,
+        spill_dir=spill_dir,
     )
 
-    repeat = max(1, int(args.repeat))
-    started = time.perf_counter()
-    batches = [service.submit(requests) for _ in range(repeat)]
-    seconds = time.perf_counter() - started
+    try:
+        repeat = max(1, int(args.repeat))
+        started = time.perf_counter()
+        batches = [service.submit(requests) for _ in range(repeat)]
+        seconds = time.perf_counter() - started
 
-    for submission, batch in enumerate(batches):
-        rows = [
-            [
-                outcome.request_id,
-                outcome.op,
-                outcome.target,
-                outcome.index_kind,
-                "hit" if outcome.cache_hit else "build",
-                outcome.num_queries,
-                _format_result_cell(outcome),
+        for submission, batch in enumerate(batches):
+            rows = [
+                [
+                    outcome.request_id,
+                    outcome.op,
+                    outcome.target,
+                    outcome.index_kind,
+                    "hit" if outcome.cache_hit else "build",
+                    outcome.num_queries,
+                    _format_result_cell(outcome),
+                ]
+                for outcome in batch.outcomes
             ]
-            for outcome in batch.outcomes
-        ]
-        print(
-            format_block(
-                f"submission {submission + 1}/{repeat} ({batch.seconds * 1000:.1f} ms, "
-                f"{batch.indexes_built} built / {batch.indexes_reused} cached)",
-                format_table(
-                    ["id", "op", "target", "index", "cache", "queries", "result"], rows
+            print(
+                format_block(
+                    f"submission {submission + 1}/{repeat} ({batch.seconds * 1000:.1f} ms, "
+                    f"{batch.indexes_built} built / {batch.indexes_reused} cached)",
+                    format_table(
+                        ["id", "op", "target", "index", "cache", "queries", "result"], rows
+                    ),
                 ),
-            ),
+                file=out,
+            )
+        stats = service.stats()
+        cache = stats["cache"]
+        sharded = (
+            f" across {stats['shards']} shards" if stats.get("sharded") else ""
+        )
+        print(
+            f"served {stats['requests_served']} requests{sharded} "
+            f"({stats['queries_evaluated']} interval queries) in {seconds:.3f}s — "
+            f"built {stats['indexes_built']} indexes in {stats['build_seconds']:.3f}s, "
+            f"query time {stats['query_seconds'] * 1000:.1f} ms; "
+            f"cache: {cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['evictions']} evictions (hit rate {cache['hit_rate']:.2f})",
             file=out,
         )
-    stats = service.stats()
-    cache = stats["cache"]
-    print(
-        f"served {stats['requests_served']} requests "
-        f"({stats['queries_evaluated']} interval queries) in {seconds:.3f}s — "
-        f"built {stats['indexes_built']} indexes in {stats['build_seconds']:.3f}s, "
-        f"query time {stats['query_seconds'] * 1000:.1f} ms; "
-        f"cache: {cache['hits']} hits / {cache['misses']} misses / "
-        f"{cache['evictions']} evictions (hit rate {cache['hit_rate']:.2f})",
-        file=out,
-    )
-    if args.artifact is not None:
-        document = _serve_artifact(args, service, batches, seconds)
-        write_document(document, args.artifact)
-        print(f"wrote artifact: {args.artifact}", file=out)
+        if args.artifact is not None:
+            document = _serve_artifact(args, service, batches, seconds)
+            write_document(document, args.artifact)
+            print(f"wrote artifact: {args.artifact}", file=out)
+    finally:
+        close = getattr(service, "close", None)
+        if callable(close):
+            close()
     return 0
 
 
 def _cmd_serve_http(args, out) -> int:
     from ..server import start_server
 
-    service = QueryService(
-        cache=IndexCache(
-            max_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
-            spill_dir=args.spill,
-        ),
+    service = _build_cli_service(
+        args,
         mode=args.mode,
         delta=args.delta,
         backend=args.backend,
-        plan=_resolve_cli_plan(args),
+        cache_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
+        spill_dir=args.spill,
     )
     handle = start_server(
         service,
@@ -656,10 +713,13 @@ def _cmd_serve_http(args, out) -> int:
         retry_after_seconds=args.retry_after,
         default_seed=args.seed,
     )
+    shard_note = (
+        f", shards={service.shards}" if isinstance(service, ShardRouter) else ""
+    )
     print(
         f"listening on {handle.url} (transport={handle.transport}, "
         f"max_inflight={handle.core.max_inflight}, "
-        f"coalesce={handle.core.coalesce_seconds * 1000:.1f} ms)",
+        f"coalesce={handle.core.coalesce_seconds * 1000:.1f} ms{shard_note})",
         file=out,
         flush=True,
     )

@@ -48,6 +48,8 @@ __all__ = [
     "GroupTask",
     "resolve_backend",
     "backend_names",
+    "fork_context",
+    "in_daemonic_process",
     "DEFAULT_BACKEND",
 ]
 
@@ -185,8 +187,8 @@ def _run_pickled_group_task(payload: bytes) -> Tuple[Any, Any]:
     return result, child.stats
 
 
-def _in_daemonic_process() -> bool:
-    """Whether we are inside a daemonic worker (which cannot spawn pools).
+def in_daemonic_process() -> bool:
+    """Whether we are inside a daemonic worker (which cannot spawn children).
 
     This happens when a process backend ends up executing *inside* a worker —
     e.g. the experiment runner's ``--workers`` fan-out constructs clusters
@@ -194,10 +196,27 @@ def _in_daemonic_process() -> bool:
     re-applies ``MongeMPCConfig.backend`` on a worker-side cluster.  Pool
     workers are daemonic, so spawning a nested pool would raise; these cases
     must run inline instead (correctness and accounting are unaffected).
+    The shard router (:mod:`repro.service.sharding`) uses the same check to
+    fall back to in-process shards.
     """
     import multiprocessing
 
     return bool(multiprocessing.current_process().daemon)
+
+
+def fork_context():
+    """The preferred multiprocessing context (``fork`` where available).
+
+    Fork is cheap and inherits the loaded NumPy/module state; platforms
+    without it (non-POSIX) get the default context.  Shared by the
+    :class:`ProcessBackend` pool and the shard router's long-lived workers.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -221,12 +240,7 @@ class ProcessBackend(ExecutionBackend):
         self.max_workers = int(max_workers) if max_workers is not None else _default_workers()
 
     def _context(self):
-        import multiprocessing
-
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            return multiprocessing.get_context()
+        return fork_context()
 
     def map_local(self, fn: Callable[[Any, int], Any], items: Sequence[Any]) -> List[Any]:
         return [fn(item, index) for index, item in enumerate(items)]
@@ -234,7 +248,7 @@ class ProcessBackend(ExecutionBackend):
     def run_group_tasks(self, children: Sequence[Any], tasks: Sequence[GroupTask]) -> List[Any]:
         tasks = normalize_tasks(tasks)
         workers = min(self.max_workers, len(tasks))
-        if workers <= 1 or _in_daemonic_process():
+        if workers <= 1 or in_daemonic_process():
             return _run_tasks_inline(children, tasks)
         try:
             payloads = [

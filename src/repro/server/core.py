@@ -9,17 +9,22 @@ changes socket mechanics only — never an answer.
 
 Concurrency model
 -----------------
-:class:`~repro.service.serving.QueryService`, the
-:class:`~repro.service.cache.IndexCache` behind it and the streaming
-sessions are single-threaded objects.  The core therefore funnels *all*
-service work through one ``ThreadPoolExecutor(max_workers=1)`` guarded by
-an :class:`asyncio.Lock` — the event loop stays free to accept requests
-while the service thread grinds through builds and passes.
+The service behind the core advertises how many calls it can usefully run
+at once through a ``concurrency`` attribute.  A plain
+:class:`~repro.service.serving.QueryService` (single-threaded, like the
+:class:`~repro.service.cache.IndexCache` behind it) has none and defaults
+to 1: all service work funnels through one worker thread guarded by an
+``asyncio.Semaphore(1)`` — exactly the historical lock discipline.  A
+:class:`~repro.service.sharding.ShardRouter` advertises its shard count:
+the semaphore and the executor both widen to N, so N vectorised passes
+(bound for different shards) overlap while the event loop stays free.
+Streaming sessions remain single-threaded objects regardless, so each
+session additionally holds a private per-session lock.
 
-That serialisation is what makes **coalescing** profitable: while one pass
-holds the service lock, every new request against the same
+The semaphore is what makes **coalescing** profitable: while the service
+slots are busy, every new request against the same
 ``(target, kind, strict)`` group key joins the pending
-:class:`_PendingPass` instead of queueing its own.  When the lock frees,
+:class:`_PendingPass` instead of queueing its own.  When a slot frees,
 the pass *seals* (pops itself from the pending map — failures can never
 poison the map for later requests) and answers all contributors in one
 vectorised :meth:`QueryService.submit` call.  Outcomes are demuxed back to
@@ -139,7 +144,7 @@ class ServerCore:
 
     def __init__(
         self,
-        service: Optional[QueryService] = None,
+        service: Optional[Any] = None,
         *,
         max_inflight: int = 64,
         build_queue_limit: int = 8,
@@ -153,6 +158,9 @@ class ServerCore:
         if build_queue_limit < 1:
             raise ValueError(f"build_queue_limit must be positive, got {build_queue_limit}")
         self.service = service if service is not None else QueryService()
+        # Shard routers advertise how many calls may run at once; plain
+        # services default to 1 and keep the historical strict serialisation.
+        self.service_concurrency = max(1, int(getattr(self.service, "concurrency", 1) or 1))
         self.max_inflight = int(max_inflight)
         self.build_queue_limit = int(build_queue_limit)
         self.coalesce_seconds = float(coalesce_seconds)
@@ -161,7 +169,8 @@ class ServerCore:
         self.transport = transport
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._service_lock: Optional[asyncio.Lock] = None
+        self._service_lock: Optional[asyncio.Semaphore] = None
+        self._session_locks: Dict[str, asyncio.Lock] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pending: Dict[Tuple[TargetSpec, str, bool], _PendingPass] = {}
         self._builds: Dict[str, Dict[str, Any]] = {}
@@ -195,15 +204,22 @@ class ServerCore:
     async def startup(self) -> None:
         """Bind to the running event loop (call once, from that loop)."""
         self._loop = asyncio.get_running_loop()
-        self._service_lock = asyncio.Lock()
-        # One worker thread == the service's serialisation guarantee.
+        # Semaphore width == how many service calls run at once.  Width 1
+        # (plain QueryService) is the historical lock discipline; a shard
+        # router widens it to its shard count so per-shard passes overlap.
+        self._service_lock = asyncio.Semaphore(self.service_concurrency)
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service"
+            max_workers=self.service_concurrency, thread_name_prefix="repro-service"
         )
 
     async def shutdown(self) -> None:
         for task in list(self._tasks):
             task.cancel()
+        close = getattr(self.service, "close", None)
+        if callable(close) and self._executor is not None:
+            # Shard routers own worker processes; tear them down off-loop
+            # while the executor is still alive.
+            await self._loop.run_in_executor(self._executor, close)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
@@ -548,6 +564,18 @@ class ServerCore:
             raise _HttpError(404, f"no route for {path}")
         return sid
 
+    def _session_lock(self, sid: str) -> asyncio.Lock:
+        """Per-session mutation lock.
+
+        The service semaphore admits up to ``service_concurrency`` calls at
+        once, but a streaming session is a single-threaded object — two
+        pushes to the *same* session must still serialise.
+        """
+        lock = self._session_locks.get(sid)
+        if lock is None:
+            lock = self._session_locks[sid] = asyncio.Lock()
+        return lock
+
     async def _post_session(self, document: Any) -> Dict[str, Any]:
         if not isinstance(document, dict):
             raise _HttpError(400, "session request must be a JSON object")
@@ -579,7 +607,7 @@ class ServerCore:
         initial_symbols = (
             self._symbols(initial, "'push'") if initial is not None else None
         )
-        async with self._service_lock:
+        async with self._session_lock(sid), self._service_lock:
             self._sessions[sid] = session
             self._session_meta[sid] = meta
             if initial_symbols is not None:
@@ -593,7 +621,7 @@ class ServerCore:
         if not isinstance(document, dict) or "symbols" not in document:
             raise _HttpError(400, "push needs a JSON object with 'symbols'")
         symbols = self._symbols(document["symbols"], "'symbols'")
-        async with self._service_lock:
+        async with self._session_lock(sid), self._service_lock:
             dropped = await self._in_service_thread(session.push, symbols)
         state = self._session_state(sid)
         state["dropped"] = int(dropped)
@@ -625,6 +653,7 @@ class ServerCore:
             raise _HttpError(404, f"unknown session {sid!r}")
         del self._sessions[sid]
         del self._session_meta[sid]
+        self._session_locks.pop(sid, None)
         return {"id": sid, "status": "deleted"}
 
     # ------------------------------------------------------------------- stats
@@ -637,6 +666,7 @@ class ServerCore:
             "aiohttp_available": aiohttp_available(),
             "uptime_seconds": time.perf_counter() - self._started,
             "max_inflight": self.max_inflight,
+            "service_concurrency": self.service_concurrency,
             "inflight": self.inflight,
             "peak_inflight": self.peak_inflight,
             "coalesce_seconds": self.coalesce_seconds,

@@ -24,9 +24,8 @@ import asyncio
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
-from ..service import QueryService
 from .core import ServerCore
 
 __all__ = ["TRANSPORTS", "ServerHandle", "detect_transport", "start_server"]
@@ -207,7 +206,7 @@ def _start_thread(core: ServerCore, host: str, port: int):
 
 
 def start_server(
-    service: Optional[QueryService] = None,
+    service: Optional[Any] = None,
     *,
     host: str = "127.0.0.1",
     port: int = 0,

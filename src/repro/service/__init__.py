@@ -14,7 +14,11 @@ turns that property into a serving stack:
   document behind ``python -m repro serve``;
 * :mod:`~repro.service.serving` — :class:`QueryService`, which groups mixed
   request batches by index, builds what is missing on the configured MPC
-  execution backend, and answers each group in one vectorised pass.
+  execution backend, and answers each group in one vectorised pass;
+* :mod:`~repro.service.sharding` — :class:`ShardRouter`, which
+  consistent-hashes index fingerprints across N long-lived worker
+  processes (each with a private cache and spill directory) and answers
+  mixed batches bit-identically to a single :class:`QueryService`.
 
 Throughput versus rebuild-per-query is measured by the registered
 ``service_throughput`` experiment (``benchmarks/bench_service_throughput.py``).
@@ -47,6 +51,13 @@ from .requests import (
     parse_target,
 )
 from .serving import QueryService, RequestOutcome, ServiceBatchResult
+from .sharding import (
+    ConsistentHashRing,
+    IndexInfo,
+    ShardConfig,
+    ShardRouter,
+    ShardWorkerCrash,
+)
 
 __all__ = [
     "DEFAULT_CACHE_BYTES",
@@ -73,4 +84,9 @@ __all__ = [
     "QueryService",
     "RequestOutcome",
     "ServiceBatchResult",
+    "ConsistentHashRing",
+    "IndexInfo",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardWorkerCrash",
 ]

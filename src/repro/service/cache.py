@@ -74,8 +74,12 @@ class IndexCache:
         os.makedirs(self.spill_dir, exist_ok=True)
         # Write-then-rename so a crash mid-eviction never leaves a truncated
         # file under the final name (rename is atomic within a directory).
-        # The temp name keeps the .npz suffix — np.savez would append one.
-        tmp_path = f"{path}.tmp.npz"
+        # The temp name keeps the .npz suffix — np.savez would append one —
+        # and embeds the pid so caches in different processes sharing a
+        # spill directory never scribble over each other's half-written temp
+        # file (shard workers get a private subdirectory on top of this, see
+        # :mod:`repro.service.sharding`).
+        tmp_path = f"{path}.{os.getpid()}.tmp.npz"
         index.save(tmp_path)
         os.replace(tmp_path, path)
         self.spill_saves += 1

@@ -1,0 +1,851 @@
+"""The sharded serving tier: consistent-hash routing across worker processes.
+
+One :class:`~repro.service.serving.QueryService` process is a throughput
+ceiling — every build and every vectorised pass runs on one core.  The
+:class:`ShardRouter` removes that ceiling without changing a single answer:
+
+1. every request is mapped to the **content fingerprint** of the index it
+   needs (the same ``(target, kind, strict) → fingerprint`` identity the
+   single-process service caches by),
+2. a :class:`ConsistentHashRing` assigns each fingerprint to one of N
+   **long-lived worker processes**, each owning a private
+   :class:`~repro.service.cache.IndexCache` (own byte budget, own ``.npz``
+   spill subdirectory — no cross-process file collisions),
+3. a mixed batch is **split by owning shard**, the per-shard sub-batches are
+   dispatched concurrently, and the answers are **demuxed back by position**
+   — so ``router.submit(batch)`` is bit-identical to
+   ``QueryService.submit(batch)`` (the test-suite and the ``shard_scaling``
+   experiment assert exactly that).
+
+Consistent hashing (not ``hash(fp) % N``) keeps cache locality under
+resizing: adding a shard moves only ~1/(N+1) of the fingerprints, and every
+moved fingerprint lands on the *new* shard — resident caches on the old
+shards stay warm.
+
+Worker lifecycle follows the prepare/submit/wait-with-retry fan-out shape of
+the cluster-tools pattern: sub-batches are prepared per shard
+(``n_jobs = min(len(sub_batches), shards)``), submitted over per-worker
+pipes, and a worker that dies mid-call (detected by pipe EOF / liveness) is
+restarted and its sub-batch retried a bounded number of times before the
+error surfaces.  When processes cannot be spawned at all — a daemonic
+experiment-runner worker, a sandbox without ``multiprocessing`` primitives,
+or an explicit ``force_serial=True`` — the router degrades gracefully to
+**in-process shards** with identical semantics (same ring, same per-shard
+caches, same answers; only the parallelism is gone) and records the fallback
+in its stats.
+
+Worker processes resolve their :class:`~repro.core.plan.MultiplyPlan` once
+at startup — ``plan="auto"`` therefore calibrates **once per worker
+process**, never per request — and reuse the engine-layer conventions of
+:mod:`repro.mpc.engine` (fork context, daemonic-process detection); MPC
+builds inside a worker automatically run their execution backend inline,
+so shard workers never spawn nested pools.
+
+Observability: :meth:`ShardRouter.stats` reports per-shard service/cache
+stats plus router-level counters — requests routed per shard, load
+imbalance (max/mean), worker restarts, bounded retries, and the
+queue-wait vs shard-execution timing split that makes imbalance diagnosable
+from ``/stats`` alone.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import shutil
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.plan import MultiplyPlan, resolve_plan
+from ..mpc.engine import fork_context, in_daemonic_process
+from .cache import DEFAULT_CACHE_BYTES, IndexCache
+from .index import INDEX_KINDS, lcs_index_fingerprint, lis_index_fingerprint
+from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
+from .serving import QueryService, ServiceBatchResult
+
+__all__ = [
+    "ConsistentHashRing",
+    "IndexInfo",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardWorkerCrash",
+    "DEFAULT_RING_REPLICAS",
+]
+
+#: Virtual nodes per shard on the hash ring.  More replicas smooth the key
+#: distribution (the std-dev of per-shard load shrinks like 1/sqrt(R)).
+DEFAULT_RING_REPLICAS = 96
+
+
+class ShardWorkerCrash(RuntimeError):
+    """A worker process died mid-call (pipe EOF / dead process)."""
+
+
+class ConsistentHashRing:
+    """Deterministic consistent hashing of fingerprints onto shard ids.
+
+    Each shard contributes ``replicas`` virtual nodes at SHA-256-derived
+    positions on a 64-bit ring; a key is owned by the first virtual node at
+    or after its own position (wrapping).  Adding shard N+1 only inserts new
+    virtual nodes, so the only keys that move are those now preceded by one
+    of them — ~1/(N+1) of the keyspace, all landing on the new shard.
+    """
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_RING_REPLICAS) -> None:
+        if shards < 1:
+            raise ValueError(f"ring needs at least 1 shard, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"ring needs at least 1 replica per shard, got {replicas}")
+        self.shards = int(shards)
+        self.replicas = int(replicas)
+        points = sorted(
+            (self._position(f"shard-{shard}#vnode-{replica}"), shard)
+            for shard in range(self.shards)
+            for replica in range(self.replicas)
+        )
+        self._positions = [position for position, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @staticmethod
+    def _position(key: str) -> int:
+        return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+    def owner(self, key: str) -> int:
+        """The shard id owning ``key`` (a fingerprint hex string)."""
+        index = bisect.bisect_right(self._positions, self._position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """Lightweight view of a worker-resident index (what crosses the pipe).
+
+    :meth:`ShardRouter.ensure_index` returns this instead of the full
+    :class:`~repro.service.index.SemiLocalIndex` — shipping a built matrix
+    back over the pipe would cost more than the build amortises.  It carries
+    exactly what warm-up and build-polling callers need.
+    """
+
+    fingerprint: str
+    kind: str
+    length: int
+    nbytes: int
+    was_built: bool
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Per-worker service configuration (picklable; shipped at spawn time).
+
+    ``plan`` is deliberately the *unresolved* CLI-style spec (``None`` /
+    ``"default"`` / ``"auto"`` / a concrete :class:`MultiplyPlan`): each
+    worker resolves it once at startup, so ``"auto"`` calibration runs once
+    per worker process on that worker's own core, never per request.
+    """
+
+    mode: str = "sequential"
+    delta: float = 0.5
+    backend: Optional[str] = None
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    spill_root: Optional[str] = None
+    plan: Union[None, str, MultiplyPlan] = None
+    fanin: Optional[int] = None
+    base_size: Optional[int] = None
+
+
+def _worker_spill_dir(config: ShardConfig, shard_id: int) -> Optional[str]:
+    """The worker's private spill subdirectory (unique per shard *and* pid).
+
+    Workers sharing one spill root would otherwise collide on
+    ``<fingerprint>.npz`` names; the pid component additionally isolates two
+    routers (or a restarted worker) pointed at the same root.
+    """
+    if not config.spill_root:
+        return None
+    return os.path.join(config.spill_root, f"shard{shard_id}-pid{os.getpid()}")
+
+
+def _build_worker_service(config: ShardConfig, shard_id: int) -> Tuple[QueryService, Optional[str]]:
+    plan = None
+    if config.plan is not None or config.fanin is not None or config.base_size is not None:
+        # Resolved exactly once per worker: "auto" times its candidate grid
+        # here, at startup, and every later request reuses the winner.
+        plan = resolve_plan(config.plan, fanin=config.fanin, base_size=config.base_size)
+    spill_dir = _worker_spill_dir(config, shard_id)
+    cache = IndexCache(max_bytes=config.cache_bytes, spill_dir=spill_dir)
+    service = QueryService(
+        cache=cache,
+        mode=config.mode,
+        delta=config.delta,
+        backend=config.backend,
+        plan=plan,
+    )
+    return service, spill_dir
+
+
+def _normalise_ensure(target: TargetSpec, kind: Optional[str], strict: bool) -> Tuple[str, bool]:
+    """The kind/strict normalisation of :meth:`QueryService.ensure_index`.
+
+    Replicated router-side because the routing fingerprint must be computed
+    *before* any worker is involved — and must reject bad kinds with the
+    same :class:`ServiceRequestError` the single-process service raises.
+    """
+    if kind is None:
+        kind = "lcs" if target.kind == "string_pair" else "lis:position"
+    if kind not in INDEX_KINDS:
+        raise ServiceRequestError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")
+    if (kind == "lcs") != (target.kind == "string_pair"):
+        raise ServiceRequestError(f"index kind {kind!r} does not fit a {target.kind!r} target")
+    return kind, (True if kind == "lcs" else bool(strict))
+
+
+def _execute_command(
+    service: QueryService, shard_id: int, spill_dir: Optional[str], cmd: str, payload: Any
+) -> Any:
+    """One worker command, shared verbatim by process and in-process shards."""
+    if cmd == "ping":
+        return {"shard": shard_id, "pid": os.getpid(), "spill_dir": spill_dir}
+    if cmd == "submit":
+        batch = service.submit(payload)
+        return batch.outcomes, batch.indexes_built, batch.indexes_reused
+    if cmd == "ensure":
+        target, kind, strict = payload
+        index, was_cached = service.ensure_index(target, kind, strict=strict)
+        info = IndexInfo(
+            fingerprint=index.fingerprint,
+            kind=index.kind,
+            length=int(index.length),
+            nbytes=int(index.nbytes),
+            was_built=not was_cached,
+        )
+        return info, was_cached
+    if cmd == "prefetch":
+        warmed = already = 0
+        for target, kind, strict in payload:
+            _, was_cached = service.ensure_index(target, kind, strict=strict)
+            warmed += 1
+            already += 1 if was_cached else 0
+        return {"prefetched": warmed, "already_cached": already}
+    if cmd == "stats":
+        doc = service.stats()
+        doc["shard"] = shard_id
+        doc["pid"] = os.getpid()
+        doc["spill_dir"] = spill_dir
+        return doc
+    raise RuntimeError(f"unknown shard worker command {cmd!r}")
+
+
+def _shard_worker_main(conn, shard_id: int, config: ShardConfig) -> None:
+    """Worker-process entry point: serve pipe commands until shutdown.
+
+    Application errors travel back as structured envelopes (the router
+    re-raises :class:`ServiceRequestError` for request-level problems) so a
+    malformed request never kills the worker; only a genuine crash (signal,
+    interpreter death) severs the pipe and triggers the restart path.
+    """
+    service, spill_dir = _build_worker_service(config, shard_id)
+    try:
+        while True:
+            try:
+                cmd, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if cmd == "shutdown":
+                try:
+                    conn.send(("ok", None))
+                except (OSError, BrokenPipeError):
+                    pass
+                break
+            try:
+                result = _execute_command(service, shard_id, spill_dir, cmd, payload)
+                conn.send(("ok", result))
+            except ServiceRequestError as exc:
+                conn.send(("error", ("request", str(exc))))
+            except Exception as exc:  # noqa: BLE001 — workers must stay up
+                conn.send(("error", ("internal", f"{type(exc).__name__}: {exc}")))
+    finally:
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)
+        conn.close()
+
+
+class _WorkerBase:
+    """Common surface of the two worker flavours (process and inline)."""
+
+    kind = "abstract"
+
+    def __init__(self, shard_id: int, config: ShardConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        #: Serialises calls onto this worker's pipe/service (one in-flight
+        #: command per worker; the router's timing split measures the wait).
+        self.lock = threading.Lock()
+        self.requests_routed = 0
+        self.sub_batches = 0
+        self.restarts = 0
+        self.spill_dir: Optional[str] = None
+
+    def call(self, cmd: str, payload: Any) -> Any:
+        raise NotImplementedError
+
+    def restart(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def _cleanup_spill(self) -> None:
+        if self.spill_dir is not None:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+
+class _ProcessWorker(_WorkerBase):
+    """A long-lived worker process reached over a duplex pipe."""
+
+    kind = "process"
+
+    def __init__(self, shard_id: int, config: ShardConfig, ctx) -> None:
+        super().__init__(shard_id, config)
+        self._ctx = ctx
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child, self.shard_id, self.config),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        self.process = process
+        self.conn = parent
+        # The worker derives its spill subdir from its own pid; mirror the
+        # derivation here so leftover directories of *crashed* workers can
+        # still be removed at router close.
+        if self.config.spill_root:
+            self.spill_dir = os.path.join(
+                self.config.spill_root, f"shard{self.shard_id}-pid{process.pid}"
+            )
+
+    def call(self, cmd: str, payload: Any) -> Any:
+        if self.process is None or not self.process.is_alive():
+            raise ShardWorkerCrash(f"shard {self.shard_id} worker process is dead")
+        try:
+            self.conn.send((cmd, payload))
+            status, result = self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise ShardWorkerCrash(
+                f"shard {self.shard_id} worker died mid-call ({type(exc).__name__})"
+            ) from None
+        if status == "ok":
+            return result
+        category, message = result
+        if category == "request":
+            raise ServiceRequestError(message)
+        raise RuntimeError(f"shard {self.shard_id} worker error: {message}")
+
+    def restart(self) -> None:
+        self._teardown(graceful=False)
+        self.restarts += 1
+        self._spawn()
+
+    def stop(self) -> None:
+        self._teardown(graceful=True)
+        self._cleanup_spill()
+
+    def _teardown(self, graceful: bool) -> None:
+        if self.conn is not None:
+            if graceful and self.process is not None and self.process.is_alive():
+                try:
+                    self.conn.send(("shutdown", None))
+                    # Wait for the ack so the worker's spill cleanup ran.
+                    if self.conn.poll(5.0):
+                        self.conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=5.0)
+            self.process = None
+
+
+class _InlineWorker(_WorkerBase):
+    """The graceful fallback: a shard served in-process.
+
+    Same ring position, same private cache and spill subdirectory, same
+    command surface — only the process boundary (and therefore the
+    parallelism) is gone.  Used when the router runs inside a daemonic
+    worker, when multiprocessing is unavailable, or on ``force_serial``.
+    """
+
+    kind = "inline"
+
+    def __init__(self, shard_id: int, config: ShardConfig) -> None:
+        super().__init__(shard_id, config)
+        self._service, self.spill_dir = _build_worker_service(config, shard_id)
+
+    def call(self, cmd: str, payload: Any) -> Any:
+        return _execute_command(self._service, self.shard_id, self.spill_dir, cmd, payload)
+
+    def restart(self) -> None:  # pragma: no cover - inline workers cannot crash
+        self.restarts += 1
+        self._service, self.spill_dir = _build_worker_service(self.config, self.shard_id)
+
+    def stop(self) -> None:
+        self._cleanup_spill()
+
+
+class _Aggregate:
+    """Streaming (count / total / max) aggregate of one timing component."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.count += int(count)
+        self.total += float(seconds)
+        self.max = max(self.max, float(seconds))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "max_seconds": self.max,
+        }
+
+
+class ShardRouter:
+    """Fan a mixed query batch out across N sharded worker processes.
+
+    The router exposes the :class:`QueryService` serving surface —
+    :meth:`submit`, :meth:`ensure_index`, :meth:`stats` — plus
+    :meth:`prefetch` (warm-up) and :meth:`close` (worker teardown), and a
+    ``concurrency`` attribute the HTTP front-end uses to size its executor.
+    Answers are bit-identical to a single-process service; only wall-clock
+    and cache placement change.
+
+    Parameters
+    ----------
+    shards:
+        Worker count (default: ``max(2, cpu_count)``, mirroring the engine
+        backends).
+    mode, delta, backend:
+        Per-worker :class:`QueryService` build mechanics.
+    plan, fanin, base_size:
+        Multiply-plan spec, resolved **once per worker process** (so
+        ``plan="auto"`` calibrates per worker, never per request).
+    cache_bytes:
+        Per-worker in-memory index budget.
+    spill_dir:
+        Spill root; every worker derives a private ``shardI-pidP``
+        subdirectory under it and removes it at shutdown.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    retry_limit:
+        Bounded restart-and-retry attempts per sub-batch after a worker
+        crash (the prepare/submit/wait-with-retry fan-out pattern).
+    force_serial:
+        Skip process workers and serve every shard in-process.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        *,
+        mode: str = "sequential",
+        delta: float = 0.5,
+        backend: Optional[str] = None,
+        plan: Union[None, str, MultiplyPlan] = None,
+        fanin: Optional[int] = None,
+        base_size: Optional[int] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        spill_dir: Optional[str] = None,
+        replicas: int = DEFAULT_RING_REPLICAS,
+        retry_limit: int = 2,
+        force_serial: bool = False,
+    ) -> None:
+        if shards is None:
+            shards = max(2, os.cpu_count() or 1)
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be non-negative, got {retry_limit}")
+        self.shards = int(shards)
+        self.retry_limit = int(retry_limit)
+        self.config = ShardConfig(
+            mode=mode,
+            delta=float(delta),
+            backend=backend,
+            cache_bytes=int(cache_bytes),
+            spill_root=spill_dir,
+            plan=plan,
+            fanin=fanin,
+            base_size=base_size,
+        )
+        self.ring = ConsistentHashRing(self.shards, replicas=replicas)
+        self.serial_fallback: Optional[str] = None
+        self._workers: List[_WorkerBase] = []
+        self._start_workers(force_serial)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.shards, thread_name_prefix="repro-shard-router"
+        )
+        self._fingerprints: Dict[Tuple[TargetSpec, str, bool], str] = {}
+        self._metrics_lock = threading.Lock()
+        self.queue_wait = _Aggregate()
+        self.shard_exec = _Aggregate()
+        self.batches_routed = 0
+        self.requests_routed = 0
+        self.retries = 0
+        self.closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def concurrency(self) -> int:
+        """How many service calls may usefully run at once (shard count)."""
+        return self.shards if self.serial_fallback is None else 1
+
+    def _start_workers(self, force_serial: bool) -> None:
+        if force_serial:
+            self.serial_fallback = "forced"
+        elif in_daemonic_process():
+            # Daemonic pool workers (the experiment runner's --workers
+            # fan-out) cannot spawn children; same rule as ProcessBackend.
+            self.serial_fallback = "daemonic process"
+        if self.serial_fallback is None:
+            try:
+                ctx = fork_context()
+                self._workers = [
+                    _ProcessWorker(shard, self.config, ctx) for shard in range(self.shards)
+                ]
+                return
+            except Exception as exc:  # pragma: no cover - sandboxed hosts
+                for worker in self._workers:
+                    try:
+                        worker.stop()
+                    except Exception:
+                        pass
+                self._workers = []
+                self.serial_fallback = f"multiprocessing unavailable: {type(exc).__name__}: {exc}"
+        self._workers = [_InlineWorker(shard, self.config) for shard in range(self.shards)]
+
+    def close(self) -> None:
+        """Shut every worker down and remove their spill subdirectories."""
+        if self.closed:
+            return
+        self.closed = True
+        self._pool.shutdown(wait=True)
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.stop()
+                except Exception:  # noqa: BLE001 — teardown is best-effort
+                    pass
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- routing
+    def routing_fingerprint(self, target: TargetSpec, kind: str, strict: bool) -> str:
+        """The content fingerprint a request routes by (memoised per spec)."""
+        key = (target, kind, strict)
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            realised = target.realise()
+            if kind == "lcs":
+                fingerprint = lcs_index_fingerprint(*realised)
+            else:
+                fingerprint = lis_index_fingerprint(realised, kind, strict)
+            self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    def shard_for(self, target: TargetSpec, kind: str, strict: bool) -> int:
+        """The shard id owning the index a ``(target, kind, strict)`` needs."""
+        return self.ring.owner(self.routing_fingerprint(target, kind, strict))
+
+    def _shard_for_request(self, request: QueryRequest) -> int:
+        kind = request.index_kind()
+        strict = bool(request.strict) if kind != "lcs" else True
+        # Refresh routes by the *original* target's value index — that is the
+        # cached product it patches in place; the re-fingerprinted extended
+        # index lands in the same worker's cache.
+        return self.shard_for(request.target, kind, strict)
+
+    def _call(self, shard_id: int, cmd: str, payload: Any, request_count: int = 0) -> Any:
+        """One worker command with crash detection, restart and bounded retry."""
+        worker = self._workers[shard_id]
+        waited_from = time.perf_counter()
+        with worker.lock:
+            waited = time.perf_counter() - waited_from
+            last_crash: Optional[ShardWorkerCrash] = None
+            for attempt in range(self.retry_limit + 1):
+                executing_from = time.perf_counter()
+                try:
+                    result = worker.call(cmd, payload)
+                except ShardWorkerCrash as crash:
+                    last_crash = crash
+                    worker.restart()
+                    with self._metrics_lock:
+                        if attempt < self.retry_limit:
+                            self.retries += 1
+                    continue
+                if request_count:
+                    # The timing split covers request-bearing work only
+                    # (submit / ensure), not stats polls — otherwise every
+                    # /stats scrape would dilute the means it reports.
+                    worker.requests_routed += request_count
+                    worker.sub_batches += 1
+                    with self._metrics_lock:
+                        self.queue_wait.add(waited, request_count)
+                        self.shard_exec.add(
+                            time.perf_counter() - executing_from, request_count
+                        )
+                return result
+        raise RuntimeError(
+            f"shard {shard_id} worker crashed {self.retry_limit + 1} times on one "
+            f"sub-batch; giving up ({last_crash})"
+        )
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, requests: Sequence[QueryRequest]) -> ServiceBatchResult:
+        """Answer a mixed batch, bit-identically to ``QueryService.submit``.
+
+        The batch is split by owning shard, the per-shard sub-batches are
+        dispatched concurrently (each preserves its requests' relative
+        order, which ``QueryService.submit`` echoes back), and the per-shard
+        outcome lists are demuxed into the original batch positions.
+        """
+        if self.closed:
+            raise RuntimeError("ShardRouter is closed")
+        requests = list(requests)
+        started = time.perf_counter()
+        sub_batches: Dict[int, List[Tuple[int, QueryRequest]]] = {}
+        for position, request in enumerate(requests):
+            if request.op not in OPS:
+                # Fail the whole batch before any shard spends build work —
+                # the same early rejection the single-process service does.
+                raise ServiceRequestError(
+                    f"request {request.request_id!r}: unknown op {request.op!r}"
+                )
+            sub_batches.setdefault(self._shard_for_request(request), []).append(
+                (position, request)
+            )
+
+        def run_shard(shard_id: int, members: List[Tuple[int, QueryRequest]]):
+            sub_requests = [request for _, request in members]
+            return self._call(shard_id, "submit", sub_requests, request_count=len(sub_requests))
+
+        items = sorted(sub_batches.items())
+        if len(items) == 1:
+            shard_id, members = items[0]
+            shard_results = [(members, run_shard(shard_id, members))]
+        else:
+            futures = [
+                (members, self._pool.submit(run_shard, shard_id, members))
+                for shard_id, members in items
+            ]
+            # Wait for every sub-batch before surfacing the first error, so
+            # no dispatch is left running against torn-down state.
+            shard_results, first_error = [], None
+            for members, future in futures:
+                try:
+                    shard_results.append((members, future.result()))
+                except Exception as exc:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+
+        outcomes: List[Any] = [None] * len(requests)
+        built = reused = 0
+        for members, (sub_outcomes, sub_built, sub_reused) in shard_results:
+            for (position, _), outcome in zip(members, sub_outcomes):
+                outcomes[position] = outcome
+            built += sub_built
+            reused += sub_reused
+        with self._metrics_lock:
+            self.batches_routed += 1
+            self.requests_routed += len(requests)
+        return ServiceBatchResult(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            seconds=time.perf_counter() - started,
+            indexes_built=built,
+            indexes_reused=reused,
+        )
+
+    # --------------------------------------------------------------- warm-up
+    def ensure_index(
+        self, target: TargetSpec, kind: Optional[str] = None, *, strict: bool = True
+    ) -> Tuple[IndexInfo, bool]:
+        """Build (or fetch) ``target``'s index on its owning shard.
+
+        Returns ``(info, was_cached)`` where ``info`` is an
+        :class:`IndexInfo` view — the built matrix stays resident in the
+        worker; only its identity crosses the pipe.
+        """
+        if self.closed:
+            raise RuntimeError("ShardRouter is closed")
+        kind, strict = _normalise_ensure(target, kind, strict)
+        shard_id = self.shard_for(target, kind, strict)
+        return self._call(shard_id, "ensure", (target, kind, strict), request_count=1)
+
+    def prefetch(
+        self,
+        targets: Sequence[Union[TargetSpec, Tuple[TargetSpec, Optional[str]], Tuple[TargetSpec, Optional[str], bool]]],
+    ) -> Dict[str, Any]:
+        """Warm hot fingerprints: build each target's index on its owner.
+
+        Accepts bare :class:`TargetSpec` items or ``(target, kind[, strict])``
+        tuples; specs are grouped by owning shard and each shard warms its
+        group in one command.  Returns per-shard and total warm-up counts.
+        """
+        if self.closed:
+            raise RuntimeError("ShardRouter is closed")
+        groups: Dict[int, List[Tuple[TargetSpec, str, bool]]] = {}
+        for item in targets:
+            if isinstance(item, TargetSpec):
+                target, kind, strict = item, None, True
+            elif len(item) == 2:
+                (target, kind), strict = item, True
+            else:
+                target, kind, strict = item
+            kind, strict = _normalise_ensure(target, kind, strict)
+            shard_id = self.shard_for(target, kind, strict)
+            groups.setdefault(shard_id, []).append((target, kind, strict))
+
+        def run_shard(shard_id: int, specs: List[Tuple[TargetSpec, str, bool]]):
+            return self._call(shard_id, "prefetch", specs, request_count=0)
+
+        items = sorted(groups.items())
+        if len(items) <= 1:
+            results = [(shard_id, run_shard(shard_id, specs)) for shard_id, specs in items]
+        else:
+            futures = [
+                (shard_id, self._pool.submit(run_shard, shard_id, specs))
+                for shard_id, specs in items
+            ]
+            results = [(shard_id, future.result()) for shard_id, future in futures]
+        per_shard = {shard_id: outcome for shard_id, outcome in results}
+        return {
+            "prefetched": sum(outcome["prefetched"] for outcome in per_shard.values()),
+            "already_cached": sum(outcome["already_cached"] for outcome in per_shard.values()),
+            "per_shard": per_shard,
+        }
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """Router + per-shard statistics (JSON-safe; surfaces in ``/stats``).
+
+        Includes the top-level keys the single-process service stats carry
+        (``mode``/``delta``/``backend``/``cache``), with the cache counters
+        *aggregated* across shards, so artifact writers and dashboards read
+        one shape regardless of sharding.
+        """
+        per_shard: List[Dict[str, Any]] = []
+        for worker in self._workers:
+            try:
+                doc = self._call(worker.shard_id, "stats", None)
+            except (RuntimeError, ShardWorkerCrash) as exc:
+                doc = {"shard": worker.shard_id, "error": str(exc)}
+            doc["worker"] = worker.kind
+            doc["requests_routed"] = worker.requests_routed
+            doc["sub_batches"] = worker.sub_batches
+            doc["restarts"] = worker.restarts
+            per_shard.append(doc)
+
+        routed = [worker.requests_routed for worker in self._workers]
+        total_routed = sum(routed)
+        mean_routed = total_routed / len(routed) if routed else 0.0
+        imbalance = (max(routed) / mean_routed) if mean_routed > 0 else 0.0
+
+        cache_keys = (
+            "entries",
+            "current_bytes",
+            "hits",
+            "misses",
+            "evictions",
+            "spill_saves",
+            "spill_loads",
+            "oversize_spills",
+        )
+        cache: Dict[str, Any] = {key: 0 for key in cache_keys}
+        for doc in per_shard:
+            counters = doc.get("cache") or {}
+            for key in cache_keys:
+                cache[key] += int(counters.get(key, 0))
+        cache["max_bytes"] = int(self.config.cache_bytes) * self.shards
+        cache["per_shard_max_bytes"] = int(self.config.cache_bytes)
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+
+        # Aggregated single-process-shaped counters, so CLI summaries and
+        # artifact writers read one stats shape regardless of sharding.
+        service_totals: Dict[str, Any] = {
+            "queries_evaluated": 0,
+            "indexes_built": 0,
+            "indexes_refreshed": 0,
+            "build_seconds": 0.0,
+            "query_seconds": 0.0,
+            "refresh_seconds": 0.0,
+        }
+        for doc in per_shard:
+            for key in service_totals:
+                service_totals[key] += doc.get(key, 0)
+
+        with self._metrics_lock:
+            timings = {
+                "queue_wait": self.queue_wait.summary(),
+                "shard_exec": self.shard_exec.summary(),
+            }
+            batches, requests, retries = self.batches_routed, self.requests_routed, self.retries
+        return {
+            "sharded": True,
+            "shards": self.shards,
+            "workers": self._workers[0].kind if self._workers else "none",
+            "serial_fallback": self.serial_fallback,
+            "ring_replicas": self.ring.replicas,
+            "retry_limit": self.retry_limit,
+            "mode": self.config.mode,
+            "delta": self.config.delta,
+            "backend": self.config.backend or "serial",
+            "plan": self.config.plan.describe()
+            if isinstance(self.config.plan, MultiplyPlan)
+            else self.config.plan,
+            "batches_served": batches,
+            "requests_served": requests,
+            **service_totals,
+            "restarts": sum(worker.restarts for worker in self._workers),
+            "retries": retries,
+            "load": {
+                "per_shard_requests": routed,
+                "shards_exercised": sum(1 for count in routed if count > 0),
+                "imbalance": imbalance,
+            },
+            "router_timings": timings,
+            "cache": cache,
+            "per_shard": per_shard,
+        }

@@ -265,6 +265,9 @@ SPEC_EXCLUSIONS = {
     "service_latency": "no cluster backend knob: measures the HTTP front-end, whose "
     "answers are oracle-checked inside the point (and tests/test_server.py covers "
     "transport identity)",
+    "shard_scaling": "no cluster backend knob: sweeps the shard count, whose answers "
+    "are oracle-checked inside the point (and tests/test_sharding.py covers "
+    "shard-count identity)",
 }
 
 

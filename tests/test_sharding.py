@@ -1,0 +1,371 @@
+"""Tests for the sharded serving tier (:mod:`repro.service.sharding`).
+
+The invariants every scaling change must preserve:
+
+* bit-identity — a mixed batch routed across 1/2/4 shards must match the
+  serial :class:`QueryService` oracle exactly, outcome for outcome, with
+  the answers demuxed back into the original batch positions;
+* ring stability — adding a shard moves only ~1/N of the fingerprints,
+  and every moved fingerprint lands on the *new* shard (resident caches
+  stay warm);
+* fault tolerance — a killed worker process is detected, restarted, its
+  sub-batch retried, and the ``restarts`` counter reflects it;
+* isolation — each worker spills into a private subdirectory that is
+  removed at shutdown.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_spec, run_experiment
+from repro.experiments.cli import main as cli_main
+from repro.server import get_json, post_json, start_server
+from repro.service import (
+    ConsistentHashRing,
+    IndexCache,
+    QueryRequest,
+    QueryService,
+    ServiceRequestError,
+    ShardRouter,
+    TargetSpec,
+)
+
+
+def _seq_target(n=96, seed=20, workload="random"):
+    return TargetSpec(kind="sequence", workload=workload, n=n, seed=seed)
+
+
+def _pair_target(n=64, seed=3):
+    return TargetSpec(kind="string_pair", workload="correlated_pair", n=n, seed=seed)
+
+
+def _mixed_requests(seed=0, targets=6, n=96):
+    """A mixed LIS/LCS batch over ``targets`` distinct fingerprints."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for index in range(targets):
+        target = _seq_target(n=n, seed=seed + index)
+        i = rng.integers(0, n - 1, size=3)
+        j = np.minimum(i + rng.integers(1, n // 2, size=3), n)
+        requests.append(
+            QueryRequest(op="lis_length", target=target, request_id=f"len{index}")
+        )
+        requests.append(
+            QueryRequest(
+                op="substring_query", target=target, request_id=f"sub{index}", i=i, j=j
+            )
+        )
+        requests.append(
+            QueryRequest(
+                op="rank_interval_query", target=target, request_id=f"rank{index}", x=0, y=n
+            )
+        )
+    for index in range(2):
+        target = _pair_target(seed=seed + 50 + index)
+        requests.append(
+            QueryRequest(op="lcs_length", target=target, request_id=f"lcs{index}")
+        )
+    # Shuffle so shard sub-batches interleave in the original positions.
+    order = rng.permutation(len(requests))
+    return [requests[k] for k in order]
+
+
+def _assert_same_outcomes(observed, expected):
+    assert len(observed) == len(expected)
+    for ours, oracle in zip(observed, expected):
+        assert ours.request_id == oracle.request_id
+        assert ours.op == oracle.op
+        assert ours.index_fingerprint == oracle.index_fingerprint
+        assert np.array_equal(np.asarray(ours.result), np.asarray(oracle.result)), (
+            f"request {ours.request_id}: {ours.result} != {oracle.result}"
+        )
+
+
+# ---------------------------------------------------------------------- ring
+class TestConsistentHashRing:
+    def test_deterministic_and_in_range(self):
+        ring_a, ring_b = ConsistentHashRing(4), ConsistentHashRing(4)
+        keys = [f"key-{k}" for k in range(500)]
+        owners = [ring_a.owner(key) for key in keys]
+        assert owners == [ring_b.owner(key) for key in keys]
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_adding_a_shard_moves_only_its_fraction(self):
+        before, after = ConsistentHashRing(4), ConsistentHashRing(5)
+        keys = [f"fingerprint-{k:05d}" for k in range(2000)]
+        moved = [key for key in keys if before.owner(key) != after.owner(key)]
+        fraction = len(moved) / len(keys)
+        # Ideal is 1/5; virtual nodes keep the real fraction near it.
+        assert 0.05 <= fraction <= 0.35, f"moved fraction {fraction:.3f} out of band"
+        # Consistency proper: every moved key lands on the NEW shard only.
+        assert all(after.owner(key) == 4 for key in moved)
+
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+        with pytest.raises(ValueError):
+            ConsistentHashRing(2, replicas=0)
+
+
+# ------------------------------------------------------------- bit-identity
+class TestRouterBitIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_mixed_batches_match_serial_oracle(self, shards):
+        requests = _mixed_requests(seed=shards)
+        oracle = QueryService(cache=IndexCache())
+        expected = oracle.submit(requests).outcomes
+        router = ShardRouter(shards, force_serial=True)
+        try:
+            for _ in range(2):  # cold then warm
+                _assert_same_outcomes(router.submit(requests).outcomes, expected)
+        finally:
+            router.close()
+
+    def test_process_workers_match_serial_oracle(self):
+        requests = _mixed_requests(seed=9, targets=4)
+        oracle = QueryService(cache=IndexCache())
+        expected = oracle.submit(requests).outcomes
+        router = ShardRouter(2)
+        try:
+            batch = router.submit(requests)
+            _assert_same_outcomes(batch.outcomes, expected)
+            stats = router.stats()
+            assert stats["workers"] == "process"
+            assert stats["serial_fallback"] is None
+            assert sum(stats["load"]["per_shard_requests"]) == len(requests)
+            assert stats["load"]["shards_exercised"] >= 1
+            assert stats["requests_served"] == len(requests)
+            per_shard = stats["per_shard"]
+            assert len(per_shard) == 2
+            assert all(doc["pid"] != os.getpid() for doc in per_shard)
+        finally:
+            router.close()
+
+    def test_refresh_routes_and_matches_oracle(self):
+        target = _seq_target(n=64, seed=31)
+        tail = [3.0, 1.0, 4.0]
+        refresh = QueryRequest(
+            op="refresh", target=target, request_id="ref", append=tuple(tail)
+        )
+        oracle = QueryService(cache=IndexCache())
+        expected = oracle.submit([refresh]).outcomes
+        router = ShardRouter(2, force_serial=True)
+        try:
+            observed = router.submit([refresh]).outcomes
+            _assert_same_outcomes(observed, expected)
+        finally:
+            router.close()
+
+    def test_unknown_op_rejected_before_any_dispatch(self):
+        router = ShardRouter(2, force_serial=True)
+        try:
+            bad = QueryRequest(op="nope", target=_seq_target(), request_id="x")
+            with pytest.raises(ServiceRequestError, match="unknown op"):
+                router.submit([bad])
+            assert router.stats()["requests_served"] == 0
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------- fault injection
+class TestWorkerCrashRecovery:
+    def test_killed_worker_restarts_and_answers(self):
+        requests = _mixed_requests(seed=5, targets=4)
+        oracle = QueryService(cache=IndexCache())
+        expected = oracle.submit(requests).outcomes
+        router = ShardRouter(2)
+        try:
+            assert router.stats()["workers"] == "process"
+            _assert_same_outcomes(router.submit(requests).outcomes, expected)
+            # Kill both workers outright: every shard must detect the dead
+            # pipe, restart, and re-answer (rebuilding its caches).
+            for worker in router._workers:
+                worker.process.kill()
+                worker.process.join(timeout=10)
+            _assert_same_outcomes(router.submit(requests).outcomes, expected)
+            stats = router.stats()
+            assert stats["restarts"] >= 1
+            assert all(doc.get("error") is None for doc in stats["per_shard"])
+        finally:
+            router.close()
+
+    def test_crash_loop_gives_up_after_retry_limit(self):
+        router = ShardRouter(1, retry_limit=1)
+        try:
+            assert router.stats()["workers"] == "process"
+            original_spawn = router._workers[0]._spawn
+
+            def spawn_dead():
+                original_spawn()
+                router._workers[0].process.kill()
+                router._workers[0].process.join(timeout=10)
+
+            router._workers[0].process.kill()
+            router._workers[0].process.join(timeout=10)
+            router._workers[0]._spawn = spawn_dead
+            with pytest.raises(RuntimeError, match="crashed .* times"):
+                router.submit(
+                    [QueryRequest(op="lis_length", target=_seq_target(), request_id="a")]
+                )
+            router._workers[0]._spawn = original_spawn
+        finally:
+            router.close()
+
+
+# ------------------------------------------------------- spill + prefetch
+class TestIsolationAndWarmup:
+    def test_workers_spill_into_private_subdirs_cleaned_on_close(self, tmp_path):
+        spill_root = str(tmp_path / "spill")
+        # A tiny budget forces every built index through the spill path.
+        router = ShardRouter(2, cache_bytes=4096, spill_dir=spill_root)
+        try:
+            assert router.stats()["workers"] == "process"
+            router.submit(_mixed_requests(seed=2, targets=4))
+            subdirs = os.listdir(spill_root)
+            assert len(subdirs) == 2
+            assert all(name.startswith("shard") and "-pid" in name for name in subdirs)
+            assert any(
+                files for files in (os.listdir(os.path.join(spill_root, d)) for d in subdirs)
+            ), "tiny cache budget should have spilled at least one index"
+        finally:
+            router.close()
+        assert os.listdir(spill_root) == []
+
+    def test_prefetch_makes_submissions_pure_cache_hits(self):
+        requests = _mixed_requests(seed=12, targets=4)
+        specs = {
+            (
+                request.target,
+                request.index_kind(),
+                True if request.index_kind() == "lcs" else bool(request.strict),
+            )
+            for request in requests
+            if request.op != "refresh"
+        }
+        router = ShardRouter(2, force_serial=True)
+        try:
+            report = router.prefetch(sorted(specs, key=lambda item: item[1]))
+            assert report["prefetched"] == len(specs)
+            assert report["already_cached"] == 0
+            batch = router.submit([r for r in requests if r.op != "refresh"])
+            assert batch.indexes_built == 0
+            assert all(outcome.cache_hit for outcome in batch.outcomes)
+        finally:
+            router.close()
+
+    def test_ensure_index_routes_and_validates(self):
+        router = ShardRouter(2, force_serial=True)
+        try:
+            target = _seq_target(n=48, seed=8)
+            info, was_cached = router.ensure_index(target)
+            assert not was_cached and info.kind == "lis:position" and info.was_built
+            info2, was_cached2 = router.ensure_index(target)
+            assert was_cached2 and info2.fingerprint == info.fingerprint
+            with pytest.raises(ServiceRequestError, match="does not fit"):
+                router.ensure_index(target, "lcs")
+            with pytest.raises(ServiceRequestError, match="unknown index kind"):
+                router.ensure_index(target, "bogus")
+        finally:
+            router.close()
+
+    def test_forced_serial_fallback_is_recorded(self):
+        router = ShardRouter(3, force_serial=True)
+        try:
+            stats = router.stats()
+            assert stats["workers"] == "inline"
+            assert stats["serial_fallback"] == "forced"
+            assert router.concurrency == 1
+        finally:
+            router.close()
+
+
+# ------------------------------------------------------------ HTTP front-end
+class TestRouterBehindServer:
+    def test_sharded_server_answers_and_reports_shard_stats(self):
+        router = ShardRouter(2)
+        handle = start_server(router, port=0)
+        try:
+            document = {
+                "requests": [
+                    {"op": "lis_length", "id": f"r{s}", "workload": "random",
+                     "n": 128, "seed": s}
+                    for s in range(5)
+                ]
+                + [
+                    {"op": "lcs_length", "id": "c", "string_workload": "correlated_pair",
+                     "n": 64, "seed": 3}
+                ]
+            }
+            status, _, cold = post_json(handle.url + "/v2/batch", document)
+            assert status == 200 and cold["errors"] == 0
+            status, _, warm = post_json(handle.url + "/v2/batch", document)
+            assert status == 200 and warm["errors"] == 0
+            assert [r["result"] for r in warm["results"]] == [
+                r["result"] for r in cold["results"]
+            ]
+            assert all(r["cache_hit"] for r in warm["results"])
+
+            status, _, stats = get_json(handle.url + "/stats")
+            assert status == 200
+            assert stats["service_concurrency"] == 2
+            service = stats["service"]
+            assert service["sharded"] and service["shards"] == 2
+            assert sum(service["load"]["per_shard_requests"]) == 12
+            timings = service["router_timings"]
+            assert set(timings) == {"queue_wait", "shard_exec"}
+            assert timings["shard_exec"]["count"] == 12
+            assert timings["shard_exec"]["total_seconds"] > 0.0
+        finally:
+            handle.stop()
+        # Server shutdown must have closed the router's workers.
+        assert router.closed
+        assert all(worker.process is None for worker in router._workers)
+
+
+# ------------------------------------------------------------ spec + CLI
+class TestShardScalingSpecAndCli:
+    def test_quick_spec_passes_checks(self):
+        result = run_experiment(get_spec("shard_scaling"), quick=True)
+        rows = [point.row() for point in result.points]
+        assert [row["shards"] for row in rows] == [1, 2]
+        checksums = {row["answers_checksum"] for row in rows}
+        assert len(checksums) == 1
+        assert all(row["mismatches"] == 0 for row in rows)
+
+    def test_cli_serve_with_shards_writes_valid_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "serve.json"
+        requests_file = tmp_path / "requests.json"
+        requests_file.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.service.requests",
+                    "version": 2,
+                    "requests": [
+                        {"op": "lis_length", "id": "a", "workload": "random",
+                         "n": 64, "seed": 1},
+                        {"op": "lcs_length", "id": "b",
+                         "string_workload": "correlated_pair", "n": 48, "seed": 3},
+                    ],
+                }
+            )
+        )
+        code = cli_main(
+            [
+                "serve",
+                "--requests", str(requests_file),
+                "--repeat", "2",
+                "--shards", "2",
+                "--artifact", str(artifact),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 shards" in out
+        document = json.loads(artifact.read_text())
+        assert document["fixed"]["shards"] == 2
+        assert document["service"]["sharded"] is True
+        assert cli_main(["validate", str(artifact)]) == 0
