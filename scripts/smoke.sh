@@ -3,15 +3,18 @@
 # and process execution backends), a serving batch-mode smoke (build ->
 # cached re-query -> artifact validate), an HTTP front-end smoke (serve-http
 # in the background -> cold/warm POST cycle -> background build poll ->
-# teardown even on failure), a sharded serve-http cycle (--shards 2: health
-# poll, cold/warm POST, per-shard /stats assertions, trap teardown), the
-# quick service_latency load-generator spec, the quick shard_scaling spec
-# (cross-shard-count answer checksum identity), a streaming cold/warm cycle
-# (sliding-window session -> artifact validate), a quick perf pass gated
-# against the recorded results/perf_core.json baseline (cpu-normalised
-# regression check + the >= speedup floor), and schema validation of every
-# artifact — the freshly written ones and everything recorded under
-# results/.  Intended as the CI entry point.
+# /metrics scrape with monotone-counter assertions -> teardown even on
+# failure), a sharded serve-http cycle (--shards 2: health poll, cold/warm
+# POST, per-shard /stats assertions reconciled against the per-shard
+# /metrics counters, trap teardown), the quick service_latency
+# load-generator spec, the quick shard_scaling spec (cross-shard-count
+# answer checksum identity), a streaming cold/warm cycle (sliding-window
+# session -> artifact validate), a quick perf pass gated against the
+# recorded results/perf_core.json baseline (cpu-normalised regression check
+# + the >= speedup floor) with a trend row appended and validated, the
+# repro report renderer (ASCII tables + capacity planning, zero third-party
+# deps), and schema validation of every artifact — the freshly written ones
+# and everything recorded under results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +28,7 @@ STREAMING_ARTIFACT="${6:-/tmp/repro-smoke-streaming-throughput.json}"
 PERF_ARTIFACT="${7:-/tmp/repro-smoke-perf.json}"
 LATENCY_ARTIFACT="${8:-/tmp/repro-smoke-service-latency.json}"
 SHARD_ARTIFACT="${9:-/tmp/repro-smoke-shard-scaling.json}"
+TREND_LOG="${TREND_LOG:-/tmp/repro-smoke-perf-trend.jsonl}"
 SERVE_HTTP_PORT="${SERVE_HTTP_PORT:-8077}"
 SHARD_HTTP_PORT="${SHARD_HTTP_PORT:-8078}"
 
@@ -121,10 +125,40 @@ assert record["status"] == "done", record
 stats = call("GET", "/stats")
 assert stats["requests"]["answered"] == 4, stats["requests"]
 assert stats["builds"]["done"] == 1, stats["builds"]
+assert stats["stats_schema"] == "repro.server.stats.v1", stats["stats_schema"]
+
+# /metrics exposition: key series present, counters monotone across scrapes.
+from repro.obs.metrics import parse_prometheus_text
+
+
+def scrape():
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        return parse_prometheus_text(response.read().decode("utf-8"))
+
+
+first = scrape()
+for series in (
+    "repro_http_requests_total",
+    "repro_server_passes_total",
+    "repro_service_requests_total",
+    "repro_cache_lookups_total",
+    "repro_index_builds_total",
+    "repro_multiply_total",
+    "repro_server_uptime_seconds",
+    "repro_build_info",
+):
+    assert series in first, f"missing /metrics series {series}"
+call("POST", "/v2/batch", document)
+second = scrape()
+for series in ("repro_http_requests_total", "repro_server_passes_total"):
+    before = sum(first[series].values())
+    after = sum(second[series].values())
+    assert after > before, f"{series} not monotone across scrapes ({before} -> {after})"
 print(
     f"serve-http OK: transport={stats['transport']}, "
     f"{stats['requests']['answered']} answered, cold->warm cache hit verified, "
-    f"background build {build['token']} done"
+    f"background build {build['token']} done, /metrics monotone"
 )
 EOF
 kill -INT "${SERVER_PID}"
@@ -191,9 +225,30 @@ assert service["load"]["shards_exercised"] == 2, service["load"]
 assert service["restarts"] == 0, service["restarts"]
 timings = service["router_timings"]
 assert timings["shard_exec"]["total_seconds"] > 0.0, timings
+
+# Per-shard /metrics counters reconcile exactly with the /stats JSON.
+from repro.obs.metrics import parse_prometheus_text
+
+with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+    parsed = parse_prometheus_text(response.read().decode("utf-8"))
+shard_series = parsed["repro_shard_requests_total"]
+for shard_id, expected in enumerate(service["load"]["per_shard_requests"]):
+    observed = shard_series[(("shard", str(shard_id)),)]
+    assert observed == float(expected), (
+        f"/metrics shard {shard_id} counter {observed} != /stats {expected}"
+    )
+assert "repro_shard_pipe_seconds_count" in parsed, "pipe timing histogram missing"
+
+# A traced batch covers edge -> coalesce -> route -> worker -> answer.
+trace_id = cold.get("trace_id") or warm.get("trace_id")
+assert trace_id, "batch response carries no trace_id"
+trace = call("GET", f"/debug/traces/{trace_id}")
+names = {span["name"] for span in trace["spans"]}
+assert {"edge", "coalesce", "route", "worker", "answer"} <= names, names
 print(
     f"sharded serve-http OK: workers={service['workers']}, "
-    f"per-shard requests={service['load']['per_shard_requests']}, "
+    f"per-shard requests={service['load']['per_shard_requests']} "
+    f"(reconciled with /metrics), trace {trace_id} spans={sorted(names)}, "
     f"cold->warm shard-cache hit verified"
 )
 EOF
@@ -221,7 +276,34 @@ python -m repro stream --session lcs --window 128 --ticks 3 --slide 16 --seed 7
 
 echo
 echo "== quick perf pass, gated against results/perf_core.json -> ${PERF_ARTIFACT} =="
-python -m repro perf --quick --json "${PERF_ARTIFACT}"
+rm -f "${TREND_LOG}"  # append-only log: start fresh so the row count below is exact
+python -m repro perf --quick --json "${PERF_ARTIFACT}" --record-trend "${TREND_LOG}"
+
+echo
+echo "== perf trend log validation (${TREND_LOG} + recorded results/perf_trend.jsonl) =="
+python - "${TREND_LOG}" <<'EOF'
+import os
+import sys
+
+from repro.perf.trend import load_trend
+
+fresh = load_trend(sys.argv[1])
+assert len(fresh) == 1 and fresh[0]["normalized"], fresh
+recorded = "results/perf_trend.jsonl"
+if os.path.exists(recorded):
+    rows = load_trend(recorded)
+    assert rows, "recorded trend log is empty"
+    print(f"trend OK: 1 fresh row, {len(rows)} recorded row(s) validated")
+else:
+    print("trend OK: 1 fresh row validated (no recorded log)")
+EOF
+
+echo
+echo "== repro report: recorded artifacts + trend + capacity plan (ASCII only) =="
+python -m repro report --trend --capacity 500 > /tmp/repro-smoke-report.txt
+grep -q "capacity plan for 500" /tmp/repro-smoke-report.txt
+grep -q "perf trend" /tmp/repro-smoke-report.txt
+echo "report OK: $(wc -l < /tmp/repro-smoke-report.txt) lines rendered"
 
 echo
 echo "== artifact schema validation (fresh runs + everything in results/) =="

@@ -24,14 +24,19 @@ Public API highlights
   tree (:class:`~repro.streaming.aggregator.SeaweedAggregator`) with
   incremental recomposition, ``StreamingLIS`` / ``StreamingLCS`` session
   objects and the ``python -m repro stream`` driver.
-* :mod:`repro.perf` — core hot-path micro-benchmarks and the cpu-normalised
+* :mod:`repro.perf` — core hot-path micro-benchmarks, the cpu-normalised
   perf regression gate behind ``python -m repro perf``
-  (``results/perf_core.json``).
+  (``results/perf_core.json``) and the append-only perf trend log
+  (``results/perf_trend.jsonl``).
+* :mod:`repro.obs` — the stdlib-only observability layer: process-safe
+  metrics with Prometheus text exposition (``GET /metrics``), span-based
+  request tracing (``GET /debug/traces``) and the artifact/trend/capacity
+  report renderer behind ``python -m repro report``.
 * :mod:`repro.experiments` — the declarative experiment registry, runner and
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from . import (
     analysis,
@@ -42,6 +47,7 @@ from . import (
     lis,
     mpc,
     mpc_monge,
+    obs,
     service,
     streaming,
     workloads,
@@ -56,6 +62,7 @@ __all__ = [
     "lis",
     "mpc",
     "mpc_monge",
+    "obs",
     "service",
     "streaming",
     "workloads",

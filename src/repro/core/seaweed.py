@@ -50,6 +50,28 @@ from .combine import combine_colored
 from .dense import multiply_dense
 from .permutation import EMPTY, Permutation, SubPermutation
 from .plan import MultiplyPlan, resolve_plan
+from ..obs.metrics import get_registry
+
+# Engine metrics, recorded once per multiply (never per merge) so the
+# instrumentation stays invisible to the perf regression gate.
+_MULTIPLIES = get_registry().counter(
+    "repro_multiply_total", "Iterative multiplies run in this process"
+)
+_MERGES = get_registry().counter(
+    "repro_multiply_merges_total", "Staircase merges folded by the iterative engine"
+)
+_LEAVES = get_registry().counter(
+    "repro_multiply_leaves_total", "Dense-oracle leaves solved by the iterative engine"
+)
+_ARENA_GROWS = get_registry().counter(
+    "repro_arena_grows_total", "ScratchArena buffer (re)allocations"
+)
+_ARENA_REUSES = get_registry().counter(
+    "repro_arena_reuses_total", "ScratchArena buffer handouts served without allocating"
+)
+_ARENA_BYTES = get_registry().gauge(
+    "repro_arena_bytes", "Resident bytes of the most recently used ScratchArena"
+)
 
 __all__ = [
     "BlockSplit",
@@ -224,11 +246,13 @@ class ScratchArena:
     ``0..capacity`` ramp serves every ``arange`` the merges need.
     """
 
-    __slots__ = ("_buffers", "_ramp")
+    __slots__ = ("_buffers", "_ramp", "grows", "reuses")
 
     def __init__(self) -> None:
         self._buffers = {}
         self._ramp = np.empty(0, dtype=np.int64)
+        self.grows = 0
+        self.reuses = 0
 
     def take(self, name: str, size: int) -> np.ndarray:
         """A length-``size`` int64 view of the named buffer (grown if needed)."""
@@ -236,12 +260,18 @@ class ScratchArena:
         if buf is None or len(buf) < size:
             buf = np.empty(max(size, 16), dtype=np.int64)
             self._buffers[name] = buf
+            self.grows += 1
+        else:
+            self.reuses += 1
         return buf[:size]
 
     def ramp(self, size: int) -> np.ndarray:
         """A read-only view of ``arange(size)`` (shared across merges)."""
         if len(self._ramp) < size:
             self._ramp = np.arange(max(size, 16), dtype=np.int64)
+            self.grows += 1
+        else:
+            self.reuses += 1
         return self._ramp[:size]
 
     @property
@@ -420,6 +450,8 @@ def multiply_permutations_iterative(
     fanin = int(plan.fanin)
     leaf_cap = max(int(plan.base_size), fanin)
     arena = arena if arena is not None else ScratchArena()
+    arena_grows0, arena_reuses0 = arena.grows, arena.reuses
+    merge_count = 0
 
     # ---- phase 1: top-down H-ary split into an explicit node tree ---------
     # nodes[nid] = (row_map, col_map) into the parent's index space.
@@ -469,6 +501,7 @@ def multiply_permutations_iterative(
                 (row_map[child_rows], col_map[child_cols], col_map[child_sorted])
             )
         while len(parts) > 1:
+            merge_count += len(parts) // 2
             parts = [
                 _merge_node_products(parts[i], parts[i + 1], arena)
                 if i + 1 < len(parts)
@@ -476,6 +509,15 @@ def multiply_permutations_iterative(
                 for i in range(0, len(parts), 2)
             ]
         products[nid] = parts[0]
+
+    # One registry update per multiply keeps the hot loop untouched.
+    _MULTIPLIES.inc()
+    if merge_count:
+        _MERGES.inc(merge_count)
+    _LEAVES.inc(len(leaf_inputs))
+    _ARENA_GROWS.inc(arena.grows - arena_grows0)
+    _ARENA_REUSES.inc(arena.reuses - arena_reuses0)
+    _ARENA_BYTES.set(arena.nbytes)
 
     rows, cols, _ = products[0]
     out = np.empty(n, dtype=np.int64)

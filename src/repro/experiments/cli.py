@@ -27,6 +27,14 @@ Subcommands
     ``results/perf_core.json`` artifact and gate against the recorded
     baseline (cpu-normalised, tolerance-based; exit 1 on regression or when
     the iterative-vs-reference multiply speedup falls below the floor).
+``report``
+    Render every recorded artifact in ``results/`` (or an explicit list) as
+    ASCII scaling curves, latency tables and cache hit-rate summaries
+    (:mod:`repro.obs.report`); ``--trend`` adds the perf-over-commits trend
+    table from ``results/perf_trend.jsonl``, ``--capacity QPS`` answers
+    "how many shards/workers do I need for QPS requests/second", and
+    ``--plots DIR`` writes matplotlib PNGs when matplotlib is installed
+    (the text report never needs it).
 ``validate <path>``
     Check an artifact file against the schema (exit 1 on failure).
 
@@ -54,6 +62,9 @@ Examples
     $ python -m repro stream --session lcs --window 256 --ticks 8
     $ python -m repro perf --quick
     $ python -m repro perf --json results/perf_core.json --plan auto
+    $ python -m repro perf --quick --record-trend
+    $ python -m repro report
+    $ python -m repro report results/shard_scaling.json --capacity 500
     $ python -m repro validate results/table1.json
 """
 
@@ -449,7 +460,51 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--repeats", type=int, default=2, metavar="R", help="timing repeats per case (min is kept)"
     )
+    perf_parser.add_argument(
+        "--record-trend",
+        nargs="?",
+        const="results/perf_trend.jsonl",
+        default=None,
+        metavar="PATH",
+        help="append a {commit, timestamp, normalized timings} row to the "
+        "perf trend log (default path: results/perf_trend.jsonl)",
+    )
     _add_plan_arguments(perf_parser)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render recorded artifacts as ASCII curves/tables (+ trend & capacity)",
+    )
+    report_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="artifact JSON files (default: every results/*.json)",
+    )
+    report_parser.add_argument(
+        "--trend",
+        nargs="?",
+        const="results/perf_trend.jsonl",
+        default=None,
+        metavar="PATH",
+        help="include the perf-over-commits trend table "
+        "(default path: results/perf_trend.jsonl)",
+    )
+    report_parser.add_argument(
+        "--capacity",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="answer 'how many shards/workers for QPS requests/second' from "
+        "the recorded scaling + latency artifacts",
+    )
+    report_parser.add_argument(
+        "--plots",
+        default=None,
+        metavar="DIR",
+        help="also write matplotlib PNGs to DIR (requires matplotlib; the "
+        "text report does not)",
+    )
 
     validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
     validate_parser.add_argument("path", help="artifact JSON file")
@@ -960,7 +1015,37 @@ def _cmd_perf(args, out) -> int:
     if args.json is not None:
         write_document(document, args.json)
         print(f"wrote artifact: {args.json}", file=out)
+    if args.record_trend is not None:
+        from ..perf.trend import record_trend
+
+        row = record_trend(document, args.record_trend)
+        print(
+            f"recorded trend row for commit {row['commit']} -> {args.record_trend}",
+            file=out,
+        )
     return status
+
+
+def _cmd_report(args, out) -> int:
+    import glob
+
+    from ..obs.report import render_report
+
+    paths = list(args.paths) or sorted(glob.glob("results/*.json"))
+    if not paths:
+        print(
+            "no artifacts found (run some experiments with --json, or pass paths)",
+            file=sys.stderr,
+        )
+        return 1
+    text = render_report(
+        paths,
+        trend_path=args.trend,
+        capacity_qps=args.capacity,
+        plots_dir=args.plots,
+    )
+    print(text, file=out)
+    return 0
 
 
 def _cmd_validate(path: str, out) -> int:
@@ -997,6 +1082,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_stream(args, out)
         if args.command == "perf":
             return _cmd_perf(args, out)
+        if args.command == "report":
+            return _cmd_report(args, out)
         if args.command == "validate":
             return _cmd_validate(args.path, out)
     except (KeyError, ValueError) as exc:
@@ -1005,5 +1092,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except AssertionError as exc:
         print(f"consistency check FAILED: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # The reader (e.g. `| head`) closed the pipe mid-print.  Redirect
+        # stdout to devnull so the interpreter's flush-at-exit does not
+        # raise a second time, and exit quietly like other unix tools.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2

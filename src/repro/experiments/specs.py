@@ -32,6 +32,7 @@ from ..lis import (
     value_interval_matrix,
 )
 from ..mpc import MPCCluster, ScalabilityError
+from ..server.loadgen import PERCENTILE_METHOD, percentile_linear
 from ..mpc_monge import MongeMPCConfig, mpc_multiply, mpc_multiply_warmup
 from ..mpc_monge.constant_round import mpc_combine
 from ..service import (
@@ -1262,6 +1263,11 @@ def run_service_latency_point(
         "p95_ms": report.p95_ms,
         "p99_ms": report.p99_ms,
         "max_ms": report.max_ms,
+        "hist_p50_ms": report.hist_p50_ms,
+        "hist_p95_ms": report.hist_p95_ms,
+        "hist_p99_ms": report.hist_p99_ms,
+        "latency_hist": dict(report.latency_hist),
+        "percentile_method": report.percentile_method,
         "passes": coalescing["passes"],
         "merged_passes": coalescing["merged_passes"],
         "coalesced_requests": coalescing["coalesced_requests"],
@@ -1525,10 +1531,11 @@ def run_shard_scaling_point(
         "cpu_count": cpu_count,
         "prefetched": warmup["prefetched"],
         "qps": (len(requests) * len(latencies)) / elapsed if elapsed > 0 else 0.0,
-        "p50_ms": float(np.percentile(lat, 50)),
-        "p95_ms": float(np.percentile(lat, 95)),
-        "p99_ms": float(np.percentile(lat, 99)),
+        "p50_ms": percentile_linear(lat, 50),
+        "p95_ms": percentile_linear(lat, 95),
+        "p99_ms": percentile_linear(lat, 99),
         "max_ms": float(lat.max()),
+        "percentile_method": PERCENTILE_METHOD,
         "mismatches": mismatches,
         "shards_exercised": stats["load"]["shards_exercised"],
         "per_shard_requests": stats["load"]["per_shard_requests"],

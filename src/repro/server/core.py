@@ -40,17 +40,26 @@ dropped.  Background index builds are bounded separately by
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 import importlib.util
 import itertools
 import json
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.serialize import to_jsonable
+from ..obs.metrics import (
+    gauge_fragment,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+)
+from ..obs.trace import Tracer, current_trace_id, span
 from ..service import (
     INDEX_KINDS,
     QueryRequest,
@@ -71,6 +80,35 @@ __all__ = [
 
 BATCH_SCHEMA_ID = "repro.server.batch"
 STATS_SCHEMA_ID = "repro.server.stats"
+STATS_SCHEMA_VERSION = 1
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HTTP_REQUESTS = get_registry().counter(
+    "repro_http_requests_total", "HTTP requests by method, route and status",
+    ("method", "route", "status"),
+)
+_HTTP_SECONDS = get_registry().histogram(
+    "repro_http_request_seconds", "End-to-end HTTP request handling time", ("route",)
+)
+_QUEUE_WAIT_SECONDS = get_registry().histogram(
+    "repro_server_queue_wait_seconds",
+    "Time a batch request spent before its pass started",
+)
+_ANSWER_SECONDS = get_registry().histogram(
+    "repro_server_answer_seconds", "Vectorised pass time attributed to batch requests"
+)
+_REJECTIONS = get_registry().counter(
+    "repro_server_rejections_total", "Requests rejected by admission control", ("reason",)
+)
+_PASSES = get_registry().counter(
+    "repro_server_passes_total", "Vectorised passes run by the coalescer"
+)
+_MERGED_PASSES = get_registry().counter(
+    "repro_server_merged_passes_total", "Passes that served more than one contributor"
+)
+_COALESCED = get_registry().counter(
+    "repro_server_coalesced_requests_total", "Requests that joined an in-flight pass"
+)
 
 
 def aiohttp_available() -> bool:
@@ -152,6 +190,7 @@ class ServerCore:
         retry_after_seconds: float = 1.0,
         default_seed: Optional[int] = None,
         transport: str = "asyncio",
+        trace_capacity: int = 128,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
@@ -180,6 +219,9 @@ class ServerCore:
         self._session_counter = itertools.count(1)
         self._tasks: set = set()
         self._started = time.perf_counter()
+        #: Per-request traces, minted at the HTTP edge for batch POSTs and
+        #: retained in a bounded ring buffer behind ``GET /debug/traces``.
+        self.tracer = Tracer(capacity=trace_capacity)
 
         self.inflight = 0
         self.peak_inflight = 0
@@ -230,19 +272,49 @@ class ServerCore:
         task.add_done_callback(self._tasks.discard)
 
     async def _in_service_thread(self, fn, *args, **kwargs):
-        """Run ``fn`` on the single service thread (never on the event loop)."""
+        """Run ``fn`` on the single service thread (never on the event loop).
+
+        Executor threads do not inherit the caller's contextvars, so each
+        call ships a fresh context copy — service-layer spans stay parented
+        to the request that triggered them.
+        """
+        ctx = contextvars.copy_context()
         return await self._loop.run_in_executor(
-            self._executor, functools.partial(fn, *args, **kwargs)
+            self._executor, ctx.run, functools.partial(fn, *args, **kwargs)
         )
 
     # ------------------------------------------------------------------ routing
     async def handle(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """Answer one HTTP request: ``(status, extra_headers, json_payload)``."""
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        """Answer one HTTP request: ``(status, extra_headers, payload)``.
+
+        The payload is JSON unless the handler set its own ``Content-Type``
+        in the extra headers (``/metrics`` returns Prometheus text).
+        """
+        started = time.perf_counter()
+        path, _, raw_query = path.partition("?")
+        path = path.rstrip("/") or "/"
+        method = method.upper()
+        query = urllib.parse.parse_qs(raw_query) if raw_query else {}
+        status, headers, payload = await self._handle_routed(method, path, query, body)
+        route = self._route_label(method, path)
+        _HTTP_REQUESTS.inc(method=method, route=route, status=status)
+        _HTTP_SECONDS.observe(time.perf_counter() - started, route=route)
+        return status, headers, payload
+
+    async def _handle_routed(
+        self, method: str, path: str, query: Dict[str, List[str]], body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        traced = method == "POST" and path == "/v2/batch"
         try:
-            payload = await self._route(method.upper(), path, body)
+            if traced:
+                with self.tracer.start_trace("edge", method=method, path=path):
+                    payload = await self._route(method, path, query, body)
+            else:
+                payload = await self._route(method, path, query, body)
+            if isinstance(payload, tuple):  # (extra_headers, raw_bytes) — /metrics
+                return 200, payload[0], payload[1]
             return 200, {}, self._encode(payload)
         except _HttpError as exc:
             headers = {}
@@ -259,12 +331,49 @@ class ServerCore:
                 {"error": f"internal error: {type(exc).__name__}: {exc}", "status": 500}
             )
 
-    async def _route(self, method: str, path: str, body: bytes) -> Any:
+    @staticmethod
+    def _route_label(method: str, path: str) -> str:
+        """Collapse parameterised paths so metric labels stay low-cardinality."""
+        if path.startswith("/builds/"):
+            return "/builds/{token}"
+        if path.startswith("/sessions/"):
+            return "/sessions/{id}/push" if path.endswith("/push") else "/sessions/{id}"
+        if path.startswith("/debug/traces/"):
+            return "/debug/traces/{id}"
+        known = {
+            "/", "/healthz", "/stats", "/metrics", "/v2/batch",
+            "/builds", "/sessions", "/debug/traces",
+        }
+        return path if path in known else "(unknown)"
+
+    async def _route(
+        self, method: str, path: str, query: Dict[str, List[str]], body: bytes
+    ) -> Any:
         if method == "GET":
             if path in ("/", "/healthz"):
-                return {"status": "ok", "transport": self.transport}
+                from .. import __version__
+
+                return {
+                    "status": "ok",
+                    "transport": self.transport,
+                    "version": __version__,
+                    "uptime_seconds": time.perf_counter() - self._started,
+                    "aiohttp_available": aiohttp_available(),
+                }
             if path == "/stats":
                 return self.stats()
+            if path == "/metrics":
+                text = self.metrics_text()
+                return {"Content-Type": METRICS_CONTENT_TYPE}, text.encode("utf-8")
+            if path == "/debug/traces":
+                return {
+                    "schema": "repro.server.traces",
+                    "version": 1,
+                    **self.tracer.stats(),
+                    "traces": self.tracer.summaries(),
+                }
+            if path.startswith("/debug/traces/"):
+                return self._get_trace(path[len("/debug/traces/"):], query)
             if path == "/builds":
                 return {"builds": [dict(rec) for rec in self._builds.values()]}
             if path.startswith("/builds/"):
@@ -291,6 +400,46 @@ class ServerCore:
                 return self._delete_session(self._session_id(path))
             raise _HttpError(404, f"no route for DELETE {path}")
         raise _HttpError(405, f"method {method} not allowed")
+
+    # ----------------------------------------------------------------- metrics
+    def metrics_text(self) -> str:
+        """The merged Prometheus exposition for ``GET /metrics``.
+
+        Merges this process's registry (which includes the shard router's
+        per-shard collector when sharded), the shard-stamped worker-process
+        snapshots shipped over the router pipes, and point-in-time fragments
+        (uptime, build info).
+        """
+        from .. import __version__
+
+        parts = [get_registry().snapshot()]
+        extra = getattr(self.service, "extra_metric_snapshots", None)
+        if callable(extra):
+            parts.extend(extra())
+        parts.append(
+            gauge_fragment(
+                "repro_server_uptime_seconds",
+                time.perf_counter() - self._started,
+                "Seconds since this server core started",
+            )
+        )
+        parts.append(
+            gauge_fragment(
+                "repro_build_info",
+                1,
+                "Constant 1; the labels carry version and transport",
+                labels={"version": __version__, "transport": self.transport},
+            )
+        )
+        return render_prometheus(merge_snapshots(*parts))
+
+    def _get_trace(self, trace_id: str, query: Dict[str, List[str]]) -> Any:
+        trace = self.tracer.get(trace_id)
+        if trace is None:
+            raise _HttpError(404, f"unknown (or evicted) trace {trace_id!r}")
+        if query.get("format", [""])[0] == "chrome":
+            return trace.to_chrome()
+        return trace.to_jsonable()
 
     @staticmethod
     def _encode(payload: Any) -> bytes:
@@ -327,6 +476,7 @@ class ServerCore:
             n = len(parsed)
             if n > self.max_inflight:
                 self.requests_rejected += total
+                _REJECTIONS.inc(total, reason="batch_too_large")
                 raise _HttpError(
                     400,
                     f"batch of {n} requests exceeds --max-inflight={self.max_inflight}; "
@@ -334,6 +484,7 @@ class ServerCore:
                 )
             if self.inflight + n > self.max_inflight:
                 self.requests_rejected += total
+                _REJECTIONS.inc(total, reason="capacity")
                 raise _HttpError(
                     429,
                     f"server at capacity ({self.inflight}/{self.max_inflight} "
@@ -371,6 +522,7 @@ class ServerCore:
             "schema": BATCH_SCHEMA_ID,
             "version": 1,
             "transport": self.transport,
+            "trace_id": current_trace_id(),
             "defaults": dict(defaults),
             "results": slots,
             "ok": ok,
@@ -388,58 +540,70 @@ class ServerCore:
         """Answer one group's requests, joining an in-flight pass when possible."""
         requests = [request for _, request in members]
         joined = False
-        if coalesce:
-            pending = self._pending.get(key)
-            if pending is not None and not pending.sealed:
-                offset = pending.add(requests)
-                joined = True
-                self.coalesced_requests += len(requests)
+        # The coalesce span covers join/create + the wait for the pass; the
+        # pass task is spawned *inside* it, so the route/worker spans of the
+        # leading contributor land under its coalesce span (create_task
+        # copies the contextvars context).  Joiners record the join only —
+        # the pass itself belongs to the trace that started it.
+        with span("coalesce", requests=len(requests)) as coalesce_span:
+            if coalesce:
+                pending = self._pending.get(key)
+                if pending is not None and not pending.sealed:
+                    offset = pending.add(requests)
+                    joined = True
+                    self.coalesced_requests += len(requests)
+                    _COALESCED.inc(len(requests))
+                else:
+                    pending = _PendingPass(key, self._loop)
+                    offset = pending.add(requests)
+                    self._pending[key] = pending
+                    self._spawn(self._run_pass(pending, coalescable=True))
             else:
                 pending = _PendingPass(key, self._loop)
                 offset = pending.add(requests)
-                self._pending[key] = pending
-                self._spawn(self._run_pass(pending, coalescable=True))
-        else:
-            pending = _PendingPass(key, self._loop)
-            offset = pending.add(requests)
-            self._spawn(self._run_pass(pending, coalescable=False))
+                self._spawn(self._run_pass(pending, coalescable=False))
+            if coalesce_span is not None:
+                coalesce_span.set(joined=joined)
 
-        try:
-            batch, pass_started, pass_seconds = await asyncio.shield(pending.future)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 — fault isolation per group
-            message = f"{type(exc).__name__}: {exc}"
-            return [
-                (idx, {"id": request.request_id, "status": "error", "error": message})
-                for idx, request in members
-            ]
+            try:
+                batch, pass_started, pass_seconds = await asyncio.shield(pending.future)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — fault isolation per group
+                message = f"{type(exc).__name__}: {exc}"
+                return [
+                    (idx, {"id": request.request_id, "status": "error", "error": message})
+                    for idx, request in members
+                ]
         queue_seconds = pass_started - received
         self.queue_wait.add(queue_seconds, len(requests))
         self.answer_timing.add(pass_seconds, len(requests))
+        _QUEUE_WAIT_SECONDS.observe(queue_seconds)
+        _ANSWER_SECONDS.observe(pass_seconds)
         entries: List[Tuple[int, Dict[str, Any]]] = []
-        for slot, (idx, request) in enumerate(members):
-            outcome = batch.outcomes[offset + slot]
-            entries.append(
-                (
-                    idx,
-                    {
-                        "id": request.request_id,
-                        "status": "ok",
-                        "op": outcome.op,
-                        "target": outcome.target,
-                        "index_kind": outcome.index_kind,
-                        "index_fingerprint": outcome.index_fingerprint,
-                        "cache_hit": outcome.cache_hit,
-                        "num_queries": outcome.num_queries,
-                        "result": outcome.result,
-                        "seconds": outcome.seconds,
-                        "queue_wait_seconds": queue_seconds,
-                        "pass_seconds": pass_seconds,
-                        "coalesced": joined,
-                    },
+        with span("answer", requests=len(members)):
+            for slot, (idx, request) in enumerate(members):
+                outcome = batch.outcomes[offset + slot]
+                entries.append(
+                    (
+                        idx,
+                        {
+                            "id": request.request_id,
+                            "status": "ok",
+                            "op": outcome.op,
+                            "target": outcome.target,
+                            "index_kind": outcome.index_kind,
+                            "index_fingerprint": outcome.index_fingerprint,
+                            "cache_hit": outcome.cache_hit,
+                            "num_queries": outcome.num_queries,
+                            "result": outcome.result,
+                            "seconds": outcome.seconds,
+                            "queue_wait_seconds": queue_seconds,
+                            "pass_seconds": pass_seconds,
+                            "coalesced": joined,
+                        },
+                    )
                 )
-            )
         return entries
 
     async def _run_pass(self, pending: _PendingPass, coalescable: bool) -> None:
@@ -464,8 +628,10 @@ class ServerCore:
                         pending.future.set_exception(exc)
                     return
                 self.passes += 1
+                _PASSES.inc()
                 if pending.contributions > 1:
                     self.merged_passes += 1
+                    _MERGED_PASSES.inc()
                 if not pending.future.done():
                     pending.future.set_result(
                         (batch, pass_started, time.perf_counter() - pass_started)
@@ -661,7 +827,8 @@ class ServerCore:
         """The ``/stats`` document: honest queue depths and timing aggregates."""
         return {
             "schema": STATS_SCHEMA_ID,
-            "version": 1,
+            "version": STATS_SCHEMA_VERSION,
+            "stats_schema": f"{STATS_SCHEMA_ID}.v{STATS_SCHEMA_VERSION}",
             "transport": self.transport,
             "aiohttp_available": aiohttp_available(),
             "uptime_seconds": time.perf_counter() - self._started,

@@ -29,7 +29,47 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LoadReport", "get_json", "post_json", "run_load"]
+from ..obs.metrics import DEFAULT_TIME_BUCKETS, histogram_quantile
+
+__all__ = [
+    "LoadReport",
+    "PERCENTILE_METHOD",
+    "get_json",
+    "percentile_linear",
+    "post_json",
+    "run_load",
+]
+
+#: Recorded in every latency artifact so readers know exactly what the
+#: pXX numbers mean (and that the histogram-derived quantiles should agree
+#: within one bucket width).
+PERCENTILE_METHOD = (
+    "linear interpolation (Hyndman-Fan R-7, the numpy default): "
+    "h = (n-1)*q/100; x[floor(h)] + (h-floor(h)) * (x[floor(h)+1] - x[floor(h)])"
+)
+
+
+def percentile_linear(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by R-7 linear interpolation.
+
+    Explicit so the artifact method string above is the literal code, not a
+    library default that could drift: sort, take ``h = (n-1)*q/100``, and
+    interpolate between the two order statistics bracketing ``h``.  Matches
+    ``np.percentile(values, q)`` bit-for-bit (the tests pin that).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    h = (len(ordered) - 1) * q / 100.0
+    lo = int(h)
+    frac = h - lo
+    if lo + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
 
 
 def post_json(
@@ -86,6 +126,15 @@ class LoadReport:
     p95_ms: float
     p99_ms: float
     max_ms: float
+    #: Fixed-log-bucket latency histogram: ``{"bounds": [...], "counts":
+    #: [...]}`` (seconds; counts has one extra +Inf slot).  The
+    #: histogram-derived quantiles below must agree with the exact pXX
+    #: values above within one bucket width — the tests pin that.
+    latency_hist: Dict[str, Any] = field(default_factory=dict)
+    hist_p50_ms: float = 0.0
+    hist_p95_ms: float = 0.0
+    hist_p99_ms: float = 0.0
+    percentile_method: str = PERCENTILE_METHOD
     #: ``variant index -> list of per-request 'results' arrays`` (for
     #: bit-identity assertions against a serial oracle).
     answers: Dict[int, List[Any]] = field(default_factory=dict)
@@ -103,6 +152,11 @@ class LoadReport:
             "p95_ms": self.p95_ms,
             "p99_ms": self.p99_ms,
             "max_ms": self.max_ms,
+            "hist_p50_ms": self.hist_p50_ms,
+            "hist_p95_ms": self.hist_p95_ms,
+            "hist_p99_ms": self.hist_p99_ms,
+            "latency_hist": dict(self.latency_hist),
+            "percentile_method": self.percentile_method,
         }
 
 
@@ -192,12 +246,26 @@ def run_load(
         issued = count
     seconds = time.perf_counter() - started
 
+    bounds = list(DEFAULT_TIME_BUCKETS)
+    counts = [0] * (len(bounds) + 1)
+    for value in latencies:
+        slot = len(bounds)
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                slot = i
+                break
+        counts[slot] += 1
     if latencies:
-        arr = np.asarray(latencies, dtype=np.float64) * 1000.0
-        p50, p95, p99 = (float(np.percentile(arr, q)) for q in (50, 95, 99))
-        mx = float(arr.max())
+        arr_ms = [value * 1000.0 for value in latencies]
+        p50, p95, p99 = (percentile_linear(arr_ms, q) for q in (50, 95, 99))
+        mx = max(arr_ms)
+        hist_p50, hist_p95, hist_p99 = (
+            histogram_quantile(q / 100.0, bounds, counts) * 1000.0
+            for q in (50, 95, 99)
+        )
     else:
         p50 = p95 = p99 = mx = 0.0
+        hist_p50 = hist_p95 = hist_p99 = 0.0
     return LoadReport(
         pattern=pattern,
         requests=issued,
@@ -210,5 +278,9 @@ def run_load(
         p95_ms=p95,
         p99_ms=p99,
         max_ms=mx,
+        latency_hist={"bounds": bounds, "counts": counts},
+        hist_p50_ms=hist_p50,
+        hist_p95_ms=hist_p95,
+        hist_p99_ms=hist_p99,
         answers=answers,
     )

@@ -101,9 +101,12 @@ async def _serve_connection(
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 429: "Too Many Requests",
                   500: "Internal Server Error"}.get(status, "OK")
+        # The handler may override Content-Type (/metrics serves Prometheus
+        # text); everything else is JSON.
+        content_type = extra_headers.pop("Content-Type", "application/json")
         headers = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
             "Connection: close",
         ]
@@ -176,7 +179,8 @@ def _start_thread(core: ServerCore, host: str, port: int):
                 core.handle(self.command, self.path, body), loop
             ).result(timeout=300)
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            content_type = extra_headers.pop("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             for name, value in extra_headers.items():
                 self.send_header(name, value)

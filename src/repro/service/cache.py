@@ -20,8 +20,26 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from .index import SemiLocalIndex
+from ..obs.metrics import get_registry
 
 __all__ = ["IndexCache", "DEFAULT_CACHE_BYTES"]
+
+# Registry-level mirrors of the per-instance counters below: every cache in
+# the process records into the same labelled series, so a /metrics scrape
+# sees the cache behaviour of the whole process (and, merged over the shard
+# pipe, of the whole fleet).
+_LOOKUPS = get_registry().counter(
+    "repro_cache_lookups_total", "Index cache lookups by outcome", ("result",)
+)
+_EVICTIONS = get_registry().counter(
+    "repro_cache_evictions_total", "LRU evictions from the index cache"
+)
+_SPILLS = get_registry().counter(
+    "repro_cache_spills_total", "Disk spill round-trips by direction", ("direction",)
+)
+_RESIDENT_BYTES = get_registry().gauge(
+    "repro_cache_resident_bytes", "Bytes resident across this process's index caches"
+)
 
 #: Default in-memory budget: generous for laptop-scale experiments, small
 #: enough that the eviction path is actually exercised by real workloads.
@@ -83,6 +101,7 @@ class IndexCache:
         index.save(tmp_path)
         os.replace(tmp_path, path)
         self.spill_saves += 1
+        _SPILLS.inc(direction="save")
 
     def _spill_load(self, fingerprint: str) -> Optional[SemiLocalIndex]:
         path = self._spill_path(fingerprint)
@@ -100,6 +119,7 @@ class IndexCache:
                 pass
             return None
         self.spill_loads += 1
+        _SPILLS.inc(direction="load")
         return index
 
     # ------------------------------------------------------------------- api
@@ -120,8 +140,10 @@ class IndexCache:
         if entry is not None:
             self._entries.move_to_end(fingerprint)
             self.hits += 1
+            _LOOKUPS.inc(result="hit")
             return entry
         self.misses += 1
+        _LOOKUPS.inc(result="miss")
         loaded = self._spill_load(fingerprint)
         if loaded is not None and loaded.nbytes <= self.max_bytes:
             # Oversized spill entries keep serving from disk — re-admitting
@@ -170,6 +192,7 @@ class IndexCache:
     def clear(self) -> None:
         """Drop every in-memory entry (spill files are left in place)."""
         self._entries.clear()
+        _RESIDENT_BYTES.add(-self.current_bytes)
         self.current_bytes = 0
 
     def counters(self) -> Dict[str, Any]:
@@ -194,6 +217,7 @@ class IndexCache:
         self._entries[index.fingerprint] = index
         self._entries.move_to_end(index.fingerprint)
         self.current_bytes += index.nbytes
+        _RESIDENT_BYTES.add(index.nbytes)
         # Evict LRU entries until back under budget, but never the entry just
         # inserted (len > 1): one oversized index beats caching nothing.
         while self.current_bytes > self.max_bytes and len(self._entries) > 1:
@@ -201,8 +225,10 @@ class IndexCache:
             victim = self._remove(victim_fp)
             self._spill_save(victim)
             self.evictions += 1
+            _EVICTIONS.inc()
 
     def _remove(self, fingerprint: str) -> SemiLocalIndex:
         entry = self._entries.pop(fingerprint)
         self.current_bytes -= entry.nbytes
+        _RESIDENT_BYTES.add(-entry.nbytes)
         return entry

@@ -42,8 +42,29 @@ from .index import (
     lis_index_fingerprint,
 )
 from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 
 __all__ = ["RequestOutcome", "ServiceBatchResult", "QueryService"]
+
+_REQUESTS = get_registry().counter(
+    "repro_service_requests_total", "Requests answered by QueryService.submit"
+)
+_BATCHES = get_registry().counter(
+    "repro_service_batches_total", "Batches answered by QueryService.submit"
+)
+_QUERIES = get_registry().counter(
+    "repro_service_queries_total", "Interval evaluations run by the vectorised pass"
+)
+_BUILDS = get_registry().counter(
+    "repro_index_builds_total", "Index builds by kind (cache misses that built)", ("kind",)
+)
+_BUILD_SECONDS = get_registry().histogram(
+    "repro_index_build_seconds", "Wall-clock of index builds"
+)
+_QUERY_SECONDS = get_registry().histogram(
+    "repro_query_pass_seconds", "Wall-clock of vectorised query passes"
+)
 
 
 @dataclass
@@ -182,12 +203,17 @@ class QueryService:
             else:
                 fingerprint = lis_index_fingerprint(realised, kind, strict)
             self._fingerprints[key] = fingerprint
-        index, was_cached = self.cache.get_or_build(
-            fingerprint, lambda: self._build_index(target, kind, strict, realised)
-        )
+        def _traced_build() -> SemiLocalIndex:
+            with span("build", kind=kind, fingerprint=fingerprint[:12]):
+                return self._build_index(target, kind, strict, realised)
+
+        index, was_cached = self.cache.get_or_build(fingerprint, _traced_build)
         if not was_cached:
             self.indexes_built += 1
-            self.build_seconds += float(index.provenance.get("build_seconds", 0.0))
+            seconds = float(index.provenance.get("build_seconds", 0.0))
+            self.build_seconds += seconds
+            _BUILDS.inc(kind=kind)
+            _BUILD_SECONDS.observe(seconds)
         return index, was_cached
 
     def ensure_index(
@@ -304,6 +330,7 @@ class QueryService:
         """
         requests = list(requests)
         started = time.perf_counter()
+        queries_before = self.queries_evaluated
         # Group by required index identity, preserving first-seen order.
         # Refresh requests mutate the cache, so they execute individually (in
         # batch order) rather than joining a query group.
@@ -351,13 +378,15 @@ class QueryService:
             lo_cat = np.concatenate([lo for _, _, lo, _, _ in flat])
             hi_cat = np.concatenate([hi for _, _, _, hi, _ in flat])
             query_started = time.perf_counter()
-            if kind == "lis:value":
-                answers = index.query_rank_intervals(lo_cat, hi_cat)
-            else:
-                answers = index.query_substrings(lo_cat, hi_cat)
+            with span("query", kind=kind, intervals=int(lo_cat.size)):
+                if kind == "lis:value":
+                    answers = index.query_rank_intervals(lo_cat, hi_cat)
+                else:
+                    answers = index.query_substrings(lo_cat, hi_cat)
             group_seconds = time.perf_counter() - query_started
             self.query_seconds += group_seconds
             self.queries_evaluated += int(lo_cat.size)
+            _QUERY_SECONDS.observe(group_seconds)
 
             offset = 0
             for pos, request, lo, _, scalar in flat:
@@ -378,6 +407,9 @@ class QueryService:
 
         self.requests_served += len(requests)
         self.batches_served += 1
+        _REQUESTS.inc(len(requests))
+        _BATCHES.inc()
+        _QUERIES.inc(self.queries_evaluated - queries_before)
         return ServiceBatchResult(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
             seconds=time.perf_counter() - started,

@@ -51,6 +51,7 @@ from ``/stats`` alone.
 from __future__ import annotations
 
 import bisect
+import contextvars
 import hashlib
 import os
 import shutil
@@ -62,6 +63,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.plan import MultiplyPlan, resolve_plan
 from ..mpc.engine import fork_context, in_daemonic_process
+from ..obs.metrics import get_registry, relabel_snapshot
+from ..obs.trace import span
 from .cache import DEFAULT_CACHE_BYTES, IndexCache
 from .index import INDEX_KINDS, lcs_index_fingerprint, lis_index_fingerprint
 from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
@@ -238,6 +241,11 @@ def _execute_command(
         doc["pid"] = os.getpid()
         doc["spill_dir"] = spill_dir
         return doc
+    if cmd == "metrics":
+        # The worker process's whole registry snapshot (plain picklable
+        # dicts); the router stamps it with a shard label and merges it into
+        # the /metrics exposition.
+        return get_registry().snapshot()
     raise RuntimeError(f"unknown shard worker command {cmd!r}")
 
 
@@ -519,6 +527,20 @@ class ShardRouter:
         self.requests_routed = 0
         self.retries = 0
         self.closed = False
+        registry = get_registry()
+        self._pipe_seconds = registry.histogram(
+            "repro_shard_pipe_seconds",
+            "Router-side round-trip of one worker command (pipe + execution)",
+            ("cmd",),
+        )
+        self._retries_metric = registry.counter(
+            "repro_shard_retries_total", "Sub-batches retried after a worker crash"
+        )
+        # Per-shard routing counters are *collected* from the same
+        # worker.requests_routed the /stats document reports, so the two
+        # surfaces reconcile exactly instead of drifting in parallel counts.
+        self._collector = self._collect_shard_series
+        registry.register_collector(self._collector)
 
     # ------------------------------------------------------------- lifecycle
     @property
@@ -555,6 +577,7 @@ class ShardRouter:
         if self.closed:
             return
         self.closed = True
+        get_registry().unregister_collector(self._collector)
         self._pool.shutdown(wait=True)
         for worker in self._workers:
             with worker.lock:
@@ -612,7 +635,9 @@ class ShardRouter:
                     with self._metrics_lock:
                         if attempt < self.retry_limit:
                             self.retries += 1
+                            self._retries_metric.inc()
                     continue
+                self._pipe_seconds.observe(time.perf_counter() - executing_from, cmd=cmd)
                 if request_count:
                     # The timing split covers request-bearing work only
                     # (submit / ensure), not stats polls — otherwise every
@@ -657,28 +682,40 @@ class ShardRouter:
 
         def run_shard(shard_id: int, members: List[Tuple[int, QueryRequest]]):
             sub_requests = [request for _, request in members]
-            return self._call(shard_id, "submit", sub_requests, request_count=len(sub_requests))
+            with span("worker", shard=shard_id, requests=len(sub_requests)):
+                return self._call(
+                    shard_id, "submit", sub_requests, request_count=len(sub_requests)
+                )
 
         items = sorted(sub_batches.items())
-        if len(items) == 1:
-            shard_id, members = items[0]
-            shard_results = [(members, run_shard(shard_id, members))]
-        else:
-            futures = [
-                (members, self._pool.submit(run_shard, shard_id, members))
-                for shard_id, members in items
-            ]
-            # Wait for every sub-batch before surfacing the first error, so
-            # no dispatch is left running against torn-down state.
-            shard_results, first_error = [], None
-            for members, future in futures:
-                try:
-                    shard_results.append((members, future.result()))
-                except Exception as exc:  # noqa: BLE001 — re-raised below
-                    if first_error is None:
-                        first_error = exc
-            if first_error is not None:
-                raise first_error
+        with span("route", sub_batches=len(items)):
+            if len(items) == 1:
+                shard_id, members = items[0]
+                shard_results = [(members, run_shard(shard_id, members))]
+            else:
+                # The pool threads do not inherit the caller's contextvars, so
+                # each dispatch carries a fresh context copy — worker spans
+                # land under this route span even across the thread hop.
+                futures = [
+                    (
+                        members,
+                        self._pool.submit(
+                            contextvars.copy_context().run, run_shard, shard_id, members
+                        ),
+                    )
+                    for shard_id, members in items
+                ]
+                # Wait for every sub-batch before surfacing the first error, so
+                # no dispatch is left running against torn-down state.
+                shard_results, first_error = [], None
+                for members, future in futures:
+                    try:
+                        shard_results.append((members, future.result()))
+                    except Exception as exc:  # noqa: BLE001 — re-raised below
+                        if first_error is None:
+                            first_error = exc
+                if first_error is not None:
+                    raise first_error
 
         outcomes: List[Any] = [None] * len(requests)
         built = reused = 0
@@ -755,6 +792,48 @@ class ShardRouter:
             "already_cached": sum(outcome["already_cached"] for outcome in per_shard.values()),
             "per_shard": per_shard,
         }
+
+    # --------------------------------------------------------------- metrics
+    def _collect_shard_series(self) -> Dict[str, Any]:
+        """Per-shard router counters as a snapshot fragment (see __init__)."""
+        requests = {"type": "counter",
+                    "help": "Requests routed to each shard (router-side count)",
+                    "samples": []}
+        sub_batches = {"type": "counter",
+                       "help": "Sub-batches dispatched to each shard",
+                       "samples": []}
+        restarts = {"type": "counter",
+                    "help": "Worker restarts after a crash, per shard",
+                    "samples": []}
+        for worker in self._workers:
+            labels = [["shard", str(worker.shard_id)]]
+            requests["samples"].append([labels, worker.requests_routed])
+            sub_batches["samples"].append([labels, worker.sub_batches])
+            restarts["samples"].append([labels, worker.restarts])
+        return {
+            "repro_shard_requests_total": requests,
+            "repro_shard_sub_batches_total": sub_batches,
+            "repro_shard_restarts_total": restarts,
+        }
+
+    def extra_metric_snapshots(self) -> List[Dict[str, Any]]:
+        """Shard-stamped registry snapshots fetched from each worker process.
+
+        Inline (fallback) workers share this process's registry — their
+        counts are already in the local snapshot — so only process workers
+        are polled; a worker that cannot answer is skipped rather than
+        failing the scrape.
+        """
+        snapshots: List[Dict[str, Any]] = []
+        for worker in self._workers:
+            if worker.kind != "process":
+                continue
+            try:
+                snap = self._call(worker.shard_id, "metrics", None)
+            except (RuntimeError, ShardWorkerCrash, ServiceRequestError):
+                continue
+            snapshots.append(relabel_snapshot(snap, {"shard": str(worker.shard_id)}))
+        return snapshots
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:
