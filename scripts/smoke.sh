@@ -3,18 +3,23 @@
 # and process execution backends), a serving batch-mode smoke (build ->
 # cached re-query -> artifact validate), an HTTP front-end smoke (serve-http
 # in the background -> cold/warm POST cycle -> background build poll ->
-# /metrics scrape with monotone-counter assertions -> teardown even on
-# failure), a sharded serve-http cycle (--shards 2: health poll, cold/warm
-# POST, per-shard /stats assertions reconciled against the per-shard
-# /metrics counters, trap teardown), the quick service_latency
-# load-generator spec, the quick shard_scaling spec (cross-shard-count
-# answer checksum identity), a streaming cold/warm cycle (sliding-window
-# session -> artifact validate), a quick perf pass gated against the
-# recorded results/perf_core.json baseline (cpu-normalised regression check
-# + the >= speedup floor) with a trend row appended and validated, the
-# repro report renderer (ASCII tables + capacity planning, zero third-party
-# deps), and schema validation of every artifact — the freshly written ones
-# and everything recorded under results/.  Intended as the CI entry point.
+# /metrics scrape with monotone-counter assertions + a scrape-interval
+# self-test: two scrapes under traffic, counters monotone, gauges within
+# bounds, exemplar annotations parsed and resolved via /debug/traces ->
+# teardown even on failure), a sharded serve-http cycle (--shards 2: health
+# poll, cold/warm POST, per-shard /stats assertions reconciled against the
+# per-shard /metrics counters, trap teardown), a sampled serve-http cycle
+# (1% head rate: sampler counters tick, /debug/slo reconciles with /stats,
+# an SLO burn-rate artifact is recorded on shutdown and validated), the
+# quick service_latency load-generator spec, the quick shard_scaling spec
+# (cross-shard-count answer checksum identity), a streaming cold/warm cycle
+# (sliding-window session -> artifact validate), a quick perf pass gated
+# against the recorded results/perf_core.json baseline (cpu-normalised
+# regression check + the >= speedup floor) with a trend row appended and
+# validated, the repro report renderer (ASCII tables + capacity planning +
+# the --slo burn-rate summary, zero third-party deps), and schema
+# validation of every artifact — the freshly written ones and everything
+# recorded under results/.  Intended as the CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +36,8 @@ SHARD_ARTIFACT="${9:-/tmp/repro-smoke-shard-scaling.json}"
 TREND_LOG="${TREND_LOG:-/tmp/repro-smoke-perf-trend.jsonl}"
 SERVE_HTTP_PORT="${SERVE_HTTP_PORT:-8077}"
 SHARD_HTTP_PORT="${SHARD_HTTP_PORT:-8078}"
+SLO_HTTP_PORT="${SLO_HTTP_PORT:-8079}"
+SLO_ARTIFACT="${SLO_ARTIFACT:-/tmp/repro-smoke-slo.json}"
 
 SERVER_PID=""
 cleanup() {
@@ -128,16 +135,17 @@ assert stats["builds"]["done"] == 1, stats["builds"]
 assert stats["stats_schema"] == "repro.server.stats.v1", stats["stats_schema"]
 
 # /metrics exposition: key series present, counters monotone across scrapes.
-from repro.obs.metrics import parse_prometheus_text
+from repro.obs.metrics import parse_exemplars, parse_prometheus_text
 
 
 def scrape():
     with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
         assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
-        return parse_prometheus_text(response.read().decode("utf-8"))
+        text = response.read().decode("utf-8")
+        return parse_prometheus_text(text), text
 
 
-first = scrape()
+first, _ = scrape()
 for series in (
     "repro_http_requests_total",
     "repro_server_passes_total",
@@ -147,18 +155,61 @@ for series in (
     "repro_multiply_total",
     "repro_server_uptime_seconds",
     "repro_build_info",
+    "repro_traces_sampled_total",
+    "repro_trace_ring_occupancy",
 ):
     assert series in first, f"missing /metrics series {series}"
 call("POST", "/v2/batch", document)
-second = scrape()
-for series in ("repro_http_requests_total", "repro_server_passes_total"):
+second, _ = scrape()
+for series in (
+    "repro_http_requests_total",
+    "repro_server_passes_total",
+    "repro_traces_sampled_total",
+):
     before = sum(first[series].values())
     after = sum(second[series].values())
     assert after > before, f"{series} not monotone across scrapes ({before} -> {after})"
+
+# Scrape-interval self-test: two scrapes a fixed interval apart while
+# request traffic flows between them.  Counters must be monotone, gauges
+# must stay within their physical bounds, and the exemplar annotations on
+# the latency histogram must parse and cite retained traces.
+scrape_a, _ = scrape()
+for _ in range(4):
+    call("POST", "/v2/batch", document)
+time.sleep(0.25)
+scrape_b, text_b = scrape()
+for series in (
+    "repro_http_requests_total",
+    "repro_http_request_seconds_count",
+    "repro_traces_sampled_total",
+    "repro_cache_lookups_total",
+):
+    before = sum(scrape_a[series].values())
+    after = sum(scrape_b[series].values())
+    assert after >= before, f"{series} went backwards ({before} -> {after})"
+assert sum(scrape_b["repro_http_requests_total"].values()) > sum(
+    scrape_a["repro_http_requests_total"].values()
+), "no requests counted between the two scrapes"
+ring = sum(scrape_b["repro_trace_ring_occupancy"].values())
+assert 0 <= ring <= 128, f"trace ring occupancy {ring} outside [0, capacity]"
+uptime_a = sum(scrape_a["repro_server_uptime_seconds"].values())
+uptime_b = sum(scrape_b["repro_server_uptime_seconds"].values())
+assert uptime_b > uptime_a > 0, f"uptime gauge not advancing ({uptime_a} -> {uptime_b})"
+exemplars = [
+    record for record in parse_exemplars(text_b)
+    if record["series"] == "repro_http_request_seconds_bucket"
+]
+assert exemplars, "no exemplar annotations on the latency histogram"
+resolved = call("GET", f"/debug/traces/{exemplars[-1]['trace_id']}")
+assert resolved["trace_id"] == exemplars[-1]["trace_id"], resolved
+
 print(
     f"serve-http OK: transport={stats['transport']}, "
     f"{stats['requests']['answered']} answered, cold->warm cache hit verified, "
-    f"background build {build['token']} done, /metrics monotone"
+    f"background build {build['token']} done, /metrics monotone, "
+    f"scrape self-test passed (ring occupancy {ring:g}, "
+    f"{len(exemplars)} exemplar(s) parsed and resolved)"
 )
 EOF
 kill -INT "${SERVER_PID}"
@@ -257,6 +308,76 @@ wait "${SERVER_PID}"
 SERVER_PID=""
 
 echo
+echo "== sampled serve-http cycle (1% head rate): tail retention + SLO record =="
+python -m repro serve-http --port "${SLO_HTTP_PORT}" --duration 60 \
+    --trace-head-rate 0.01 --trace-tail-min-ms 250 \
+    --slo-record "${SLO_ARTIFACT}" &
+SERVER_PID=$!
+python - "${SLO_HTTP_PORT}" <<'EOF'
+import json
+import sys
+import time
+import urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+
+def call(method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+for attempt in range(100):
+    try:
+        call("GET", "/healthz")
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("sampled serve-http did not come up within 10s")
+
+document = {
+    "schema": "repro.service.requests",
+    "requests": [
+        {"op": "lis_length", "id": "len", "workload": "random", "n": 512, "seed": 11},
+    ],
+}
+for _ in range(20):
+    assert call("POST", "/v2/batch", document)["errors"] == 0
+
+stats = call("GET", "/stats")
+tracing = stats["tracing"]
+assert tracing["sampler"]["head_rate"] == 0.01, tracing["sampler"]
+assert tracing["sampled_total"] + tracing["dropped_total"] >= 20, tracing
+assert tracing["dropped_total"] > 0, "1% head sampling dropped nothing over 20 fast requests"
+
+slo = call("GET", "/debug/slo")
+assert slo["schema"] == "repro.server.slo", slo["schema"]
+by_name = {entry["name"]: entry for entry in slo["objectives"]}
+for name, summary in stats["slo"].items():
+    assert by_name[name]["totals"]["total"] == summary["total"], (
+        f"/debug/slo and /stats disagree on {name} totals"
+    )
+availability = by_name["batch-availability-99.9"]
+assert availability["totals"]["total"] >= 20, availability["totals"]
+assert availability["alerts"]["severity"] == "ok", availability["alerts"]
+print(
+    f"sampled serve-http OK: {tracing['dropped_total']} traces dropped at 1% head "
+    f"rate, /debug/slo reconciles with /stats, severity=ok across objectives"
+)
+EOF
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=""
+test -s "${SLO_ARTIFACT}" || { echo "missing SLO artifact ${SLO_ARTIFACT}"; exit 1; }
+
+echo
 echo "== quick service_latency load-generator run -> ${LATENCY_ARTIFACT} =="
 python -m repro run service_latency --quick --json "${LATENCY_ARTIFACT}"
 
@@ -299,11 +420,14 @@ else:
 EOF
 
 echo
-echo "== repro report: recorded artifacts + trend + capacity plan (ASCII only) =="
-python -m repro report --trend --capacity 500 > /tmp/repro-smoke-report.txt
+echo "== repro report: recorded artifacts + trend + capacity + SLO (ASCII only) =="
+python -m repro report --trend --capacity 500 --slo > /tmp/repro-smoke-report.txt
 grep -q "capacity plan for 500" /tmp/repro-smoke-report.txt
 grep -q "perf trend" /tmp/repro-smoke-report.txt
-echo "report OK: $(wc -l < /tmp/repro-smoke-report.txt) lines rendered"
+grep -q "SLO burn-rate summary" /tmp/repro-smoke-report.txt
+python -m repro report --slo "${SLO_ARTIFACT}" > /tmp/repro-smoke-slo-report.txt
+grep -q "burn_5m" /tmp/repro-smoke-slo-report.txt
+echo "report OK: $(wc -l < /tmp/repro-smoke-report.txt) lines rendered (+ SLO summary)"
 
 echo
 echo "== artifact schema validation (fresh runs + everything in results/) =="
@@ -316,6 +440,7 @@ python -m repro validate "${STREAM_ARTIFACT}"
 python -m repro validate "${PERF_ARTIFACT}"
 python -m repro validate "${LATENCY_ARTIFACT}"
 python -m repro validate "${SHARD_ARTIFACT}"
+python -m repro validate "${SLO_ARTIFACT}"
 for recorded in results/*.json; do
     python -m repro validate "${recorded}"
 done

@@ -87,6 +87,8 @@ from ..service import (
     parse_requests_document,
 )
 from .artifacts import (
+    SCHEMA_ID,
+    SCHEMA_VERSION,
     ArtifactError,
     load_artifact,
     result_to_artifact,
@@ -374,6 +376,53 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = single-process service; answers are shard-invariant and "
         "/stats gains a per-shard section)",
     )
+    serve_http_parser.add_argument(
+        "--trace-head-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="deterministic head-sampling rate in [0,1]: the fraction of "
+        "trace IDs retained unconditionally (tail-latency outliers are "
+        "kept regardless; default 1.0 = keep everything)",
+    )
+    serve_http_parser.add_argument(
+        "--trace-tail-quantile",
+        type=float,
+        default=0.99,
+        metavar="Q",
+        help="per-route latency quantile above which a head-dropped trace "
+        "is retained anyway (tail-based sampling)",
+    )
+    serve_http_parser.add_argument(
+        "--trace-tail-min-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="absolute floor for tail retention: any trace slower than MS "
+        "is kept even before the quantile estimate has warmed up",
+    )
+    serve_http_parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=128,
+        metavar="N",
+        help="retained-trace ring-buffer capacity (GET /debug/traces)",
+    )
+    serve_http_parser.add_argument(
+        "--slo-config",
+        default=None,
+        metavar="PATH",
+        help="JSON file with a list of SLO objective definitions "
+        "({name, kind: availability|latency, target, route?, "
+        "threshold_ms?}); default: stock /v2/batch objectives",
+    )
+    serve_http_parser.add_argument(
+        "--slo-record",
+        default=None,
+        metavar="PATH",
+        help="on shutdown, evaluate the SLO engine against the final "
+        "metrics snapshot and write the result as a schema-v1 artifact",
+    )
     _add_plan_arguments(serve_http_parser)
 
     stream_parser = sub.add_parser(
@@ -504,6 +553,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write matplotlib PNGs to DIR (requires matplotlib; the "
         "text report does not)",
+    )
+    report_parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="include the SLO burn-rate summary from recorded slo_eval "
+        "artifacts (objectives x windows, alert severities)",
     )
 
     validate_parser = sub.add_parser("validate", help="validate an artifact file against the schema")
@@ -747,6 +802,8 @@ def _cmd_serve(args, out) -> int:
 
 
 def _cmd_serve_http(args, out) -> int:
+    from ..obs.sampling import TraceSampler
+    from ..obs.slo import SLOEngine, objectives_from_config
     from ..server import start_server
 
     service = _build_cli_service(
@@ -757,6 +814,20 @@ def _cmd_serve_http(args, out) -> int:
         cache_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
         spill_dir=args.spill,
     )
+    sampler = TraceSampler(
+        args.trace_head_rate,
+        tail_quantile=args.trace_tail_quantile,
+        tail_min_seconds=(
+            args.trace_tail_min_ms / 1000.0
+            if args.trace_tail_min_ms is not None
+            else None
+        ),
+    )
+    objectives = None
+    if args.slo_config is not None:
+        with open(args.slo_config, "r", encoding="utf-8") as fh:
+            objectives = objectives_from_config(json.load(fh))
+    slo_engine = SLOEngine(objectives)
     handle = start_server(
         service,
         host=args.host,
@@ -767,6 +838,9 @@ def _cmd_serve_http(args, out) -> int:
         coalesce_seconds=args.coalesce_ms / 1000.0,
         retry_after_seconds=args.retry_after,
         default_seed=args.seed,
+        trace_capacity=args.trace_capacity,
+        sampler=sampler,
+        slo_engine=slo_engine,
     )
     shard_note = (
         f", shards={service.shards}" if isinstance(service, ShardRouter) else ""
@@ -778,6 +852,7 @@ def _cmd_serve_http(args, out) -> int:
         file=out,
         flush=True,
     )
+    served_started = time.perf_counter()
     try:
         if args.duration is not None:
             time.sleep(max(0.0, float(args.duration)))
@@ -787,6 +862,12 @@ def _cmd_serve_http(args, out) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if args.slo_record:
+            # Evaluate against the final pre-shutdown snapshot: a sharded
+            # service's worker-process counters are only reachable while
+            # the pipes are still up.
+            evaluation = handle.core.slo.evaluate(handle.core.metrics_snapshot())
+            tracing = handle.core.tracer.stats()
         handle.stop()
         stats = handle.core.stats()
         requests = stats["requests"]
@@ -798,7 +879,85 @@ def _cmd_serve_http(args, out) -> int:
             file=out,
             flush=True,
         )
+        if args.slo_record:
+            document = _slo_eval_artifact(
+                evaluation, tracing, time.perf_counter() - served_started
+            )
+            write_document(document, args.slo_record)
+            print(f"wrote SLO artifact: {args.slo_record}", file=out, flush=True)
     return 0
+
+
+def _slo_eval_artifact(
+    evaluation: Dict[str, Any], tracing: Dict[str, Any], wall_seconds: float
+) -> Dict[str, Any]:
+    """Shape one SLO evaluation as a schema-v1 artifact document.
+
+    Grid points are (objective, window) pairs carrying the burn-rate math;
+    the full evaluation document and the tracer/sampler counters ride in
+    ``fixed`` so ``repro report --slo`` can render alerts without guessing.
+    """
+    from .. import __version__
+
+    points = []
+    for objective in evaluation["objectives"]:
+        for window_name, window in objective["windows"].items():
+            points.append(
+                {
+                    "params": {
+                        "objective": objective["name"],
+                        "window": window_name,
+                    },
+                    "metrics": {
+                        "burn_rate": window["burn_rate"],
+                        "error_ratio": window["error_ratio"],
+                        "good": window["good"],
+                        "total": window["total"],
+                        "coverage_seconds": window["coverage_seconds"],
+                        "severity": objective["alerts"]["severity"],
+                    },
+                    "seconds": float(window["coverage_seconds"]),
+                }
+            )
+    return {
+        "schema": SCHEMA_ID,
+        "schema_version": SCHEMA_VERSION,
+        "package_version": __version__,
+        "experiment": "slo_eval",
+        "title": "SLO burn-rate evaluation (python -m repro serve-http --slo-record)",
+        "claim": "multi-window burn rates derive from the same merged snapshot /metrics renders",
+        "quick": False,
+        "workers": 1,
+        "created_unix": time.time(),
+        "grid": {
+            "objective": [obj["name"] for obj in evaluation["objectives"]],
+            "window": (
+                list(evaluation["objectives"][0]["windows"])
+                if evaluation["objectives"]
+                else []
+            ),
+        },
+        "fixed": {
+            "thresholds": evaluation["thresholds"],
+            "objectives": [
+                {
+                    "name": obj["name"],
+                    "kind": obj["kind"],
+                    "target": obj["target"],
+                    "route": obj["route"],
+                    "threshold_seconds": obj["threshold_seconds"],
+                    "alerts": obj["alerts"],
+                }
+                for obj in evaluation["objectives"]
+            ],
+            "tracing": tracing,
+            "slo_schema": evaluation["schema"],
+            "slo_schema_version": evaluation["version"],
+            "now_unix": evaluation["now_unix"],
+        },
+        "wall_clock_seconds": float(wall_seconds),
+        "points": points,
+    }
 
 
 def _stream_artifact(args, session, points, seconds: float, plan=None) -> Dict[str, Any]:
@@ -1043,6 +1202,7 @@ def _cmd_report(args, out) -> int:
         trend_path=args.trend,
         capacity_qps=args.capacity,
         plots_dir=args.plots,
+        slo=args.slo,
     )
     print(text, file=out)
     return 0

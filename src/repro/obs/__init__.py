@@ -11,27 +11,44 @@ Three cooperating pieces, threaded through every serving layer:
 * :mod:`repro.obs.trace` — span-based per-request tracing: trace IDs minted
   at the HTTP edge, propagated through coalescing, routing and index builds
   via a :mod:`contextvars` context, collected into a bounded ring buffer and
-  exportable as Chrome trace-event JSON.
+  exportable as Chrome trace-event JSON; spans carry timestamped *events*
+  (cache spill/load, shard restart, coalesce merge).
+* :mod:`repro.obs.sampling` — the head+tail adaptive trace sampler:
+  deterministic hash-based head sampling plus per-route tail-latency
+  retention, with every decision exposed as metrics.
+* :mod:`repro.obs.slo` — declarative SLOs (availability,
+  latency-under-threshold) evaluated from registry snapshots with
+  multi-window burn rates (Google SRE workbook style).
 * :mod:`repro.obs.report` — ``python -m repro report``: renders scaling
   curves, latency histograms, cache hit-rate tables and perf-over-commits
   trend tables from recorded ``results/*.json`` artifacts (matplotlib when
-  available, ASCII always), plus the ``--capacity`` planning mode.
+  available, ASCII always), plus the ``--capacity`` planning mode and the
+  ``--slo`` burn-rate section.
 
 ``metrics`` and ``trace`` import nothing from the rest of the package so the
 innermost layers (``core.seaweed``, ``service.cache``) can instrument
-themselves without import cycles; ``report`` is imported lazily by the CLI.
+themselves without import cycles; ``sampling`` and ``slo`` build on
+``metrics`` only; ``report`` is imported lazily by the CLI.
 """
 
-from . import metrics, trace
+from . import metrics, sampling, slo, trace
 from .metrics import MetricsRegistry, get_registry
-from .trace import Tracer, current_trace_id, span
+from .sampling import TraceSampler
+from .slo import SLOEngine, SLObjective
+from .trace import Tracer, current_trace_id, span, span_event
 
 __all__ = [
     "metrics",
+    "sampling",
+    "slo",
     "trace",
     "MetricsRegistry",
     "get_registry",
+    "TraceSampler",
+    "SLOEngine",
+    "SLObjective",
     "Tracer",
     "current_trace_id",
     "span",
+    "span_event",
 ]

@@ -23,6 +23,7 @@ each shard worker — has its own.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -39,6 +40,8 @@ __all__ = [
     "gauge_fragment",
     "render_prometheus",
     "parse_prometheus_text",
+    "parse_exemplars",
+    "exemplars_from_snapshot",
 ]
 
 
@@ -127,6 +130,13 @@ class Histogram(_Metric):
     *per-bucket* (not cumulative) so merging is a plain element-wise sum;
     :func:`render_prometheus` cumulates at exposition time, as the format
     requires.
+
+    An ``observe`` may carry an **exemplar** — a trace ID linking the
+    observation back to its retained trace.  Each bucket remembers the most
+    recent exemplar (``{"trace_id", "value", "ts"}``); snapshots carry them,
+    merges keep the latest by wall-clock timestamp, and
+    :func:`render_prometheus` exposes them as OpenMetrics-style
+    ``# {trace_id="..."} value ts`` annotations on the ``_bucket`` lines.
     """
 
     kind = "histogram"
@@ -138,7 +148,7 @@ class Histogram(_Metric):
             raise ValueError(f"histogram {name} needs strictly increasing bounds")
         self.bounds = bounds
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None, **labels: Any) -> None:
         value = float(value)
         key = _label_key(self.labelnames, labels)
         # Binary search for the first bound >= value (index == len(bounds)
@@ -158,6 +168,15 @@ class Histogram(_Metric):
             sample["counts"][lo] += 1
             sample["sum"] += value
             sample["count"] += 1
+            if exemplar is not None:
+                # Keyed by str(bucket index) so the snapshot shape survives a
+                # JSON round-trip unchanged (JSON object keys are strings).
+                exemplars = sample.setdefault("exemplars", {})
+                exemplars[str(lo)] = {
+                    "trace_id": str(exemplar),
+                    "value": value,
+                    "ts": time.time(),
+                }
 
     def sample(self, **labels: Any) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -173,10 +192,15 @@ class Histogram(_Metric):
         return histogram_quantile(q, self.bounds, found["counts"])
 
     def _snapshot_samples(self) -> List[List[Any]]:
-        return [
-            [list(key), {"counts": list(v["counts"]), "sum": v["sum"], "count": v["count"]}]
-            for key, v in self._samples.items()
-        ]
+        out = []
+        for key, v in self._samples.items():
+            value = {"counts": list(v["counts"]), "sum": v["sum"], "count": v["count"]}
+            if v.get("exemplars"):
+                value["exemplars"] = {
+                    bucket: dict(ex) for bucket, ex in v["exemplars"].items()
+                }
+            out.append([list(key), value])
+        return out
 
 
 def histogram_quantile(q: float, bounds: Sequence[float], counts: Sequence[int]) -> float:
@@ -316,12 +340,26 @@ def _merge_value(kind: str, a: Any, b: Any) -> Any:
     if kind == "histogram":
         if len(a["counts"]) != len(b["counts"]):
             raise ValueError("cannot merge histograms with different bucket counts")
-        return {
+        merged = {
             "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
             "sum": a["sum"] + b["sum"],
             "count": a["count"] + b["count"],
         }
+        exemplars = _merge_exemplars(a.get("exemplars"), b.get("exemplars"))
+        if exemplars:
+            merged["exemplars"] = exemplars
+        return merged
     return a + b
+
+
+def _merge_exemplars(a: Optional[Dict[str, Any]], b: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-bucket union keeping the most recent exemplar by timestamp."""
+    merged: Dict[str, Any] = {bucket: dict(ex) for bucket, ex in (a or {}).items()}
+    for bucket, ex in (b or {}).items():
+        mine = merged.get(bucket)
+        if mine is None or float(ex.get("ts", 0)) >= float(mine.get("ts", 0)):
+            merged[bucket] = dict(ex)
+    return merged
 
 
 def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
@@ -366,7 +404,10 @@ def _labels_tuple(labels_kv: Iterable[Sequence[Any]]) -> Tuple[Tuple[str, str], 
 
 def _copy_value(kind: str, value: Any) -> Any:
     if kind == "histogram":
-        return {"counts": list(value["counts"]), "sum": value["sum"], "count": value["count"]}
+        copied = {"counts": list(value["counts"]), "sum": value["sum"], "count": value["count"]}
+        if value.get("exemplars"):
+            copied["exemplars"] = {b: dict(ex) for b, ex in value["exemplars"].items()}
+        return copied
     return value
 
 
@@ -434,13 +475,22 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
         for labels_kv, value in entry["samples"]:
             if kind == "histogram":
                 bounds = entry.get("bounds", ())
+                exemplars = value.get("exemplars") or {}
                 cumulative = 0
                 for index, count in enumerate(value["counts"]):
                     cumulative += count
                     le = _format_number(bounds[index]) if index < len(bounds) else "+Inf"
-                    lines.append(
-                        f"{name}_bucket{_format_labels(labels_kv, (('le', le),))} {cumulative}"
-                    )
+                    line = f"{name}_bucket{_format_labels(labels_kv, (('le', le),))} {cumulative}"
+                    ex = exemplars.get(str(index))
+                    if ex is not None:
+                        # OpenMetrics-style exemplar annotation: the most
+                        # recent observation that landed in this bucket,
+                        # linked to its trace.
+                        line += (
+                            f' # {{trace_id="{_escape_label(str(ex["trace_id"]))}"}}'
+                            f' {repr(float(ex["value"]))} {repr(float(ex.get("ts", 0.0)))}'
+                        )
+                    lines.append(line)
                 lines.append(f"{name}_sum{_format_labels(labels_kv)} {repr(float(value['sum']))}")
                 lines.append(f"{name}_count{_format_labels(labels_kv)} {value['count']}")
             else:
@@ -451,15 +501,21 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
 def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
     """Parse exposition text back into ``{series: {sorted_labels: value}}``.
 
-    Deliberately minimal (no exemplars, no timestamps) — enough for the
-    round-trip test and for smoke scripts to assert series presence and
-    counter monotonicity without third-party clients.
+    Deliberately minimal (no timestamps) — enough for the round-trip test
+    and for smoke scripts to assert series presence and counter
+    monotonicity without third-party clients.  Exemplar annotations
+    (``... # {trace_id="..."} value ts``) are stripped before label
+    parsing; :func:`parse_exemplars` reads them instead.  A label *value*
+    containing the literal `` # {`` sequence would defeat the stripping —
+    no series this repo emits does.
     """
     out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        if " # {" in line:
+            line = line[: line.index(" # {")].rstrip()
         if "}" in line:
             # Split on the LAST "}" — label values may contain braces (e.g.
             # the normalised route label "/builds/{token}").
@@ -475,6 +531,81 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ..
             series, _, value_text = line.partition(" ")
             key_tuple = ()
         out.setdefault(series.strip(), {})[key_tuple] = float(value_text)
+    return out
+
+
+def parse_exemplars(text: str) -> List[Dict[str, Any]]:
+    """Extract the exemplar annotations from exposition text.
+
+    Returns one record per annotated ``_bucket`` line:
+    ``{"series", "labels", "trace_id", "value", "ts"}`` where ``labels`` is
+    the sorted label tuple of the carrying sample (including ``le``).  The
+    counterpart of the stripping in :func:`parse_prometheus_text`, so smoke
+    scripts can assert that exposed exemplars parse and resolve.
+    """
+    out: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#") or " # {" not in line:
+            continue
+        head, _, annotation = line.partition(" # {")
+        exemplar_raw, _, tail = annotation.partition("}")
+        tail_parts = tail.split()
+        if not tail_parts:
+            continue
+        exemplar_labels: Dict[str, str] = {}
+        for item in _split_labels(exemplar_raw):
+            key, _, raw = item.partition("=")
+            exemplar_labels[key.strip()] = raw.strip().strip('"')
+        series_head, _, _value_text = head.rpartition(" ")
+        if "}" in series_head:
+            body, _, _ = series_head.rpartition("}")
+            series, _, labels_raw = body.partition("{")
+            labels = []
+            for item in _split_labels(labels_raw):
+                key, _, raw = item.partition("=")
+                labels.append((key.strip(), raw.strip().strip('"')))
+            key_tuple = tuple(sorted(labels))
+        else:
+            series, key_tuple = series_head, ()
+        out.append(
+            {
+                "series": series.strip(),
+                "labels": key_tuple,
+                "trace_id": exemplar_labels.get("trace_id", ""),
+                "value": float(tail_parts[0]),
+                "ts": float(tail_parts[1]) if len(tail_parts) > 1 else 0.0,
+            }
+        )
+    return out
+
+
+def exemplars_from_snapshot(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten a (merged) snapshot's histogram exemplars into records.
+
+    Shape per record: ``{"metric", "labels", "bucket_le", "trace_id",
+    "value", "ts"}`` — what ``GET /debug/exemplars`` serves, so a p99
+    outlier links to its span tree without scraping the text format.
+    """
+    out: List[Dict[str, Any]] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry.get("type") != "histogram":
+            continue
+        bounds = entry.get("bounds", [])
+        for labels_kv, value in entry.get("samples", []):
+            for bucket, ex in sorted((value.get("exemplars") or {}).items(), key=lambda kv: int(kv[0])):
+                index = int(bucket)
+                out.append(
+                    {
+                        "metric": name,
+                        "labels": {str(k): str(v) for k, v in labels_kv},
+                        "bucket_le": float(bounds[index]) if index < len(bounds) else None,
+                        "trace_id": ex.get("trace_id", ""),
+                        "value": float(ex.get("value", 0.0)),
+                        "ts": float(ex.get("ts", 0.0)),
+                    }
+                )
     return out
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "load_documents",
     "render_document",
     "render_report",
+    "render_slo_summary",
     "render_trend_table",
     "capacity_plan",
     "render_capacity",
@@ -233,12 +234,73 @@ def _render_streaming(doc: Dict[str, Any]) -> str:
     return format_table(["workload", "backend", "tick_s", "rebuild_s", "speedup"], rows)
 
 
+_WINDOW_ORDER = ("5m", "1h", "6h", "3d")
+
+
+def _render_slo_eval(doc: Dict[str, Any]) -> str:
+    """Objectives x windows burn-rate table for one ``slo_eval`` artifact."""
+    by_objective: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    severities: Dict[str, str] = {}
+    for point in doc.get("points", []):
+        params = point.get("params", {})
+        metrics = point.get("metrics", {})
+        name = str(params.get("objective", "?"))
+        by_objective.setdefault(name, {})[str(params.get("window", "?"))] = metrics
+        severities[name] = str(metrics.get("severity", severities.get(name, "ok")))
+    window_names = [
+        w for w in _WINDOW_ORDER if any(w in ws for ws in by_objective.values())
+    ] or sorted({w for ws in by_objective.values() for w in ws})
+    rows = []
+    for name, windows in sorted(by_objective.items()):
+        row: List[Any] = [name]
+        for window in window_names:
+            metrics = windows.get(window)
+            row.append(_cell(float(metrics["burn_rate"])) + "x" if metrics else "-")
+        row.append(severities.get(name, "ok"))
+        rows.append(row)
+    table = format_table(["objective"] + [f"burn_{w}" for w in window_names] + ["severity"], rows)
+    thresholds = doc.get("fixed", {}).get("thresholds", {})
+    if thresholds:
+        table += (
+            f"\nalerts: page when both fast windows >= {thresholds.get('fast_burn')}x, "
+            f"ticket when both slow windows >= {thresholds.get('slow_burn')}x"
+        )
+    tracing = doc.get("fixed", {}).get("tracing", {})
+    if tracing:
+        table += (
+            f"\ntracing: {tracing.get('retained')}/{tracing.get('started')} traces "
+            f"retained (sampled={tracing.get('sampled_total')}, "
+            f"dropped={tracing.get('dropped_total')})"
+        )
+    return table
+
+
+def render_slo_summary(docs: Sequence[Tuple[str, Dict[str, Any]]]) -> str:
+    """The ``--slo`` section: every recorded slo_eval document's alert state."""
+    head = _header("SLO burn-rate summary")
+    parts = [head]
+    found = False
+    for path, doc in docs:
+        if doc.get("experiment") != "slo_eval" or "_load_error" in doc:
+            continue
+        found = True
+        parts.append(f"[{os.path.basename(path)}]")
+        parts.append(_render_slo_eval(doc))
+    if not found:
+        parts.append(
+            "(no slo_eval artifacts found — record one with "
+            "`repro serve-http --slo-record results/slo_eval.json`)"
+        )
+    return "\n".join(parts)
+
+
 _RENDERERS: Dict[str, Callable[[Dict[str, Any]], str]] = {
     "shard_scaling": _render_shard_scaling,
     "service_latency": _render_service_latency,
     "service_throughput": _render_service_throughput,
     "perf_core": _render_perf_core,
     "streaming_throughput": _render_streaming,
+    "slo_eval": _render_slo_eval,
 }
 
 
@@ -443,10 +505,13 @@ def render_report(
     trend_path: Optional[str] = None,
     capacity_qps: Optional[float] = None,
     plots_dir: Optional[str] = None,
+    slo: bool = False,
 ) -> str:
     """The full report text; the CLI prints this verbatim."""
     docs = load_documents(paths)
     sections = [render_document(path, doc) for path, doc in docs]
+    if slo:
+        sections.append(render_slo_summary(docs))
     if trend_path is not None:
         sections.append(render_trend_table(trend_path))
     if capacity_qps is not None:

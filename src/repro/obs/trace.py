@@ -12,7 +12,17 @@ leading contributor's span for free.
 
 When no trace is active, ``span(...)`` is a near-free no-op (one
 ContextVar read), so instrumented inner layers cost nothing on untraced
-paths such as the perf benchmark.
+paths such as the perf benchmark.  The same holds for
+:func:`span_event`, the lightweight timestamped annotation (cache
+spill/load, shard restart/retry, coalesce merge) that marks a moment
+inside the current span without opening a child.
+
+Retention is a policy, not a given: when the tracer is built with a
+:class:`~repro.obs.sampling.TraceSampler`, the head decision is taken at
+mint time (deterministic in the trace ID) and tail retention at completion
+time — a trace that lost the head lottery is still kept if its end-to-end
+latency crosses the per-route threshold.  Without a sampler every
+completed trace is retained, the pre-sampler behaviour.
 
 Spans live in memory only; :meth:`Tracer.export_chrome` converts a trace to
 the Chrome trace-event JSON format (load via ``chrome://tracing`` or
@@ -31,13 +41,21 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Trace", "Tracer", "span", "current_trace_id", "current_span"]
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "span",
+    "span_event",
+    "current_trace_id",
+    "current_span",
+]
 
 
 class Span:
     """One timed operation inside a trace."""
 
-    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs", "_trace")
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs", "events", "_trace")
 
     def __init__(self, trace: "Trace", span_id: int, parent_id: Optional[int], name: str,
                  attrs: Dict[str, Any]):
@@ -46,6 +64,7 @@ class Span:
         self.parent_id = parent_id
         self.name = name
         self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
         self.start = time.perf_counter()
         self.end: Optional[float] = None
 
@@ -55,6 +74,22 @@ class Span:
 
     def set(self, **attrs: Any) -> None:
         self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a timestamped annotation without opening a child span.
+
+        Events are for moments, not durations: a cache spill, a shard
+        worker restart, a coalesce merge.  Appends race-free under the
+        trace lock because shard dispatch can finish sibling spans
+        concurrently.
+        """
+        record = {
+            "name": name,
+            "at_s": time.perf_counter() - self._trace.origin,
+            "attrs": dict(attrs),
+        }
+        with self._trace._lock:
+            self.events.append(record)
 
     def finish(self) -> None:
         if self.end is None:
@@ -69,6 +104,7 @@ class Span:
             "start_s": self.start - self._trace.origin,
             "duration_s": self.duration,
             "attrs": dict(self.attrs),
+            "events": [dict(event) for event in self.events],
         }
 
 
@@ -79,10 +115,20 @@ class Trace:
     thread pool, so siblings can finish concurrently.
     """
 
-    def __init__(self, tracer: "Tracer", trace_id: str, name: str):
+    def __init__(self, tracer: "Tracer", trace_id: str, name: str, route: Optional[str] = None):
         self.tracer = tracer
         self.trace_id = trace_id
         self.name = name
+        #: The route label the sampler keys its per-route tail threshold on.
+        self.route = route or name
+        #: Head-sampling verdict, fixed at mint time (deterministic in the
+        #: trace ID); the tracer's sampler sets it, default keep-everything.
+        self.head_sampled = True
+        #: Final retention outcome, set when the trace completes:
+        #: ``retained`` says whether it landed in the ring buffer,
+        #: ``retain_decision`` says why (``"head"`` / ``"tail"`` / ``None``).
+        self.retained = False
+        self.retain_decision: Optional[str] = None
         self.origin = time.perf_counter()
         self.wall_start = time.time()
         self.spans: List[Span] = []
@@ -133,12 +179,16 @@ class Trace:
     def summary(self) -> Dict[str, Any]:
         with self._lock:
             count = len(self.spans)
+            events = sum(len(sp.events) for sp in self.spans)
         return {
             "trace_id": self.trace_id,
             "name": self.name,
+            "route": self.route,
             "wall_start": self.wall_start,
             "duration_s": self._root.duration if self._root else None,
             "span_count": count,
+            "event_count": events,
+            "retain_decision": self.retain_decision,
         }
 
     def to_chrome(self) -> Dict[str, Any]:
@@ -158,6 +208,17 @@ class Trace:
                 "tid": sp.parent_id if sp.parent_id is not None else 0,
                 "args": {k: _jsonable(v) for k, v in sp.attrs.items()},
             })
+            # Span events render as instant ("i") marks on the same row.
+            for event in sp.events:
+                events.append({
+                    "name": event["name"],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event["at_s"] * 1e6,
+                    "pid": 1,
+                    "tid": sp.parent_id if sp.parent_id is not None else 0,
+                    "args": {k: _jsonable(v) for k, v in event["attrs"].items()},
+                })
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": {"trace_id": self.trace_id, "name": self.name}}
 
@@ -202,19 +263,42 @@ def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
         sp.finish()
 
 
-class Tracer:
-    """Mints traces and retains the most recent completed ones."""
+def span_event(name: str, **attrs: Any) -> None:
+    """Annotate the current span with a timestamped event; no-op untraced."""
+    sp = _current_span.get()
+    if sp is not None:
+        sp.event(name, **attrs)
 
-    def __init__(self, capacity: int = 128):
+
+class Tracer:
+    """Mints traces and retains the most recent completed ones.
+
+    With a ``sampler`` (:class:`~repro.obs.sampling.TraceSampler`), the ring
+    buffer holds head-sampled traces plus tail outliers only; without one,
+    every completed trace (the pre-sampler behaviour, and what the direct
+    unit-test uses of this class expect).
+    """
+
+    def __init__(self, capacity: int = 128, sampler: Optional[Any] = None):
         self.capacity = capacity
+        self.sampler = sampler
         self._completed: "deque[Trace]" = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._started = 0
+        self._retained_total = 0
+        self._dropped_total = 0
 
     @contextmanager
-    def start_trace(self, name: str, **attrs: Any) -> Iterator[Trace]:
-        """Begin a trace with a fresh root span installed in the context."""
-        trace = Trace(self, uuid.uuid4().hex[:16], name)
+    def start_trace(self, name: str, route: Optional[str] = None, **attrs: Any) -> Iterator[Trace]:
+        """Begin a trace with a fresh root span installed in the context.
+
+        ``route`` keys the sampler's per-route tail threshold (defaults to
+        ``name``); the head-sampling verdict is fixed here, deterministically
+        in the minted trace ID.
+        """
+        trace = Trace(self, uuid.uuid4().hex[:16], name, route=route)
+        if self.sampler is not None:
+            trace.head_sampled = self.sampler.head_decision(trace.trace_id)
         with self._lock:
             self._started += 1
         root = trace.new_span(name, None, attrs)
@@ -226,8 +310,24 @@ class Tracer:
             root.finish()
 
     def _on_trace_finished(self, trace: Trace) -> None:
+        if self.sampler is None:
+            keep, decision = True, "head"
+        else:
+            duration = trace.root.duration if trace.root is not None else 0.0
+            keep, decision = self.sampler.decide(
+                trace.route, duration or 0.0, trace.head_sampled
+            )
+        trace.retained = keep
+        trace.retain_decision = decision
         with self._lock:
-            self._completed.append(trace)
+            if keep:
+                self._completed.append(trace)
+                self._retained_total += 1
+            else:
+                self._dropped_total += 1
+            occupancy = len(self._completed)
+        if self.sampler is not None:
+            self.sampler.note_ring_size(occupancy)
 
     # ----------------------------------------------------------------- query
     def completed(self) -> List[Trace]:
@@ -243,8 +343,16 @@ class Tracer:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            return {"started": self._started, "retained": len(self._completed),
-                    "capacity": self.capacity}
+            out = {
+                "started": self._started,
+                "retained": len(self._completed),
+                "capacity": self.capacity,
+                "sampled_total": self._retained_total,
+                "dropped_total": self._dropped_total,
+            }
+        if self.sampler is not None:
+            out["sampler"] = self.sampler.config()
+        return out
 
     def summaries(self) -> List[Dict[str, Any]]:
         return [trace.summary() for trace in reversed(self.completed())]

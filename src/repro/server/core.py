@@ -54,12 +54,15 @@ import numpy as np
 
 from ..analysis.serialize import to_jsonable
 from ..obs.metrics import (
+    exemplars_from_snapshot,
     gauge_fragment,
     get_registry,
     merge_snapshots,
     render_prometheus,
 )
-from ..obs.trace import Tracer, current_trace_id, span
+from ..obs.sampling import TraceSampler
+from ..obs.slo import SLOEngine
+from ..obs.trace import Tracer, current_trace_id, span, span_event
 from ..service import (
     INDEX_KINDS,
     QueryRequest,
@@ -191,6 +194,8 @@ class ServerCore:
         default_seed: Optional[int] = None,
         transport: str = "asyncio",
         trace_capacity: int = 128,
+        sampler: Optional[TraceSampler] = None,
+        slo_engine: Optional[SLOEngine] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
@@ -219,9 +224,18 @@ class ServerCore:
         self._session_counter = itertools.count(1)
         self._tasks: set = set()
         self._started = time.perf_counter()
-        #: Per-request traces, minted at the HTTP edge for batch POSTs and
-        #: retained in a bounded ring buffer behind ``GET /debug/traces``.
-        self.tracer = Tracer(capacity=trace_capacity)
+        #: Head+tail retention policy for the ring buffer.  The default
+        #: (head_rate=1.0) keeps every completed trace — the historical
+        #: behaviour — while still exercising the decision counters.
+        self.sampler = sampler if sampler is not None else TraceSampler()
+        #: Per-request traces, minted at the HTTP edge for batch POSTs;
+        #: the sampler decides which land in the bounded ring buffer
+        #: behind ``GET /debug/traces``.
+        self.tracer = Tracer(capacity=trace_capacity, sampler=self.sampler)
+        #: Declarative objectives with multi-window burn rates, evaluated
+        #: from the same merged snapshot ``/metrics`` renders
+        #: (``GET /debug/slo``).
+        self.slo = slo_engine if slo_engine is not None else SLOEngine()
 
         self.inflight = 0
         self.peak_inflight = 0
@@ -297,22 +311,36 @@ class ServerCore:
         path = path.rstrip("/") or "/"
         method = method.upper()
         query = urllib.parse.parse_qs(raw_query) if raw_query else {}
-        status, headers, payload = await self._handle_routed(method, path, query, body)
         route = self._route_label(method, path)
+        exemplar = None
+        if method == "POST" and path == "/v2/batch":
+            # The trace-everything path is gone: every batch is still
+            # *traced* (tail retention needs the duration of every request),
+            # but the sampler decides at completion whether the trace stays
+            # in the ring buffer.  The head verdict is deterministic in the
+            # trace ID; the route keys the per-route tail threshold.
+            with self.tracer.start_trace(
+                "edge", route=route, method=method, path=path
+            ) as trace:
+                status, headers, payload = await self._handle_routed(
+                    method, path, query, body
+                )
+            # The root span finished when the with-block exited, so the
+            # retention verdict is in; only retained traces become
+            # exemplars — an exemplar must resolve via /debug/traces/<id>.
+            if trace.retained:
+                exemplar = trace.trace_id
+        else:
+            status, headers, payload = await self._handle_routed(method, path, query, body)
         _HTTP_REQUESTS.inc(method=method, route=route, status=status)
-        _HTTP_SECONDS.observe(time.perf_counter() - started, route=route)
+        _HTTP_SECONDS.observe(time.perf_counter() - started, route=route, exemplar=exemplar)
         return status, headers, payload
 
     async def _handle_routed(
         self, method: str, path: str, query: Dict[str, List[str]], body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
-        traced = method == "POST" and path == "/v2/batch"
         try:
-            if traced:
-                with self.tracer.start_trace("edge", method=method, path=path):
-                    payload = await self._route(method, path, query, body)
-            else:
-                payload = await self._route(method, path, query, body)
+            payload = await self._route(method, path, query, body)
             if isinstance(payload, tuple):  # (extra_headers, raw_bytes) — /metrics
                 return 200, payload[0], payload[1]
             return 200, {}, self._encode(payload)
@@ -342,7 +370,8 @@ class ServerCore:
             return "/debug/traces/{id}"
         known = {
             "/", "/healthz", "/stats", "/metrics", "/v2/batch",
-            "/builds", "/sessions", "/debug/traces",
+            "/builds", "/sessions", "/debug/traces", "/debug/exemplars",
+            "/debug/slo",
         }
         return path if path in known else "(unknown)"
 
@@ -370,10 +399,15 @@ class ServerCore:
                     "schema": "repro.server.traces",
                     "version": 1,
                     **self.tracer.stats(),
+                    "tail_thresholds": self.sampler.route_state(),
                     "traces": self.tracer.summaries(),
                 }
             if path.startswith("/debug/traces/"):
                 return self._get_trace(path[len("/debug/traces/"):], query)
+            if path == "/debug/exemplars":
+                return self._get_exemplars()
+            if path == "/debug/slo":
+                return self.slo.evaluate(self.metrics_snapshot())
             if path == "/builds":
                 return {"builds": [dict(rec) for rec in self._builds.values()]}
             if path.startswith("/builds/"):
@@ -402,13 +436,15 @@ class ServerCore:
         raise _HttpError(405, f"method {method} not allowed")
 
     # ----------------------------------------------------------------- metrics
-    def metrics_text(self) -> str:
-        """The merged Prometheus exposition for ``GET /metrics``.
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The merged metrics snapshot every observability surface reads.
 
         Merges this process's registry (which includes the shard router's
         per-shard collector when sharded), the shard-stamped worker-process
         snapshots shipped over the router pipes, and point-in-time fragments
-        (uptime, build info).
+        (uptime, build info).  ``/metrics``, ``/debug/exemplars`` and
+        ``/debug/slo`` all derive from this one snapshot, so they reconcile
+        with each other and with ``/stats`` by construction.
         """
         from .. import __version__
 
@@ -431,14 +467,41 @@ class ServerCore:
                 labels={"version": __version__, "transport": self.transport},
             )
         )
-        return render_prometheus(merge_snapshots(*parts))
+        return merge_snapshots(*parts)
+
+    def metrics_text(self) -> str:
+        """The merged Prometheus exposition for ``GET /metrics``."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def _get_exemplars(self) -> Dict[str, Any]:
+        """``GET /debug/exemplars``: bucket exemplars resolved against the ring.
+
+        ``retained`` says whether the linked trace is still in the ring
+        buffer — an exemplar can outlive its trace once the ring wraps.
+        """
+        records = exemplars_from_snapshot(self.metrics_snapshot())
+        for record in records:
+            record["retained"] = self.tracer.get(record["trace_id"]) is not None
+        return {
+            "schema": "repro.server.exemplars",
+            "version": 1,
+            "count": len(records),
+            "exemplars": records,
+        }
 
     def _get_trace(self, trace_id: str, query: Dict[str, List[str]]) -> Any:
         trace = self.tracer.get(trace_id)
         if trace is None:
             raise _HttpError(404, f"unknown (or evicted) trace {trace_id!r}")
         if query.get("format", [""])[0] == "chrome":
-            return trace.to_chrome()
+            # Served as a download: a stable filename keyed by the trace ID
+            # so "save for chrome://tracing" lands somewhere predictable.
+            headers = {
+                "Content-Disposition": (
+                    f'attachment; filename="repro-trace-{trace.trace_id}.chrome.json"'
+                )
+            }
+            return headers, self._encode(trace.to_chrome())
         return trace.to_jsonable()
 
     @staticmethod
@@ -553,6 +616,9 @@ class ServerCore:
                     joined = True
                     self.coalesced_requests += len(requests)
                     _COALESCED.inc(len(requests))
+                    span_event(
+                        "coalesce_merge", offset=offset, requests=len(requests)
+                    )
                 else:
                     pending = _PendingPass(key, self._loop)
                     offset = pending.add(requests)
@@ -632,6 +698,11 @@ class ServerCore:
                 if pending.contributions > 1:
                     self.merged_passes += 1
                     _MERGED_PASSES.inc()
+                    span_event(
+                        "coalesce_merged_pass",
+                        contributors=pending.contributions,
+                        requests=len(pending.requests),
+                    )
                 if not pending.future.done():
                     pending.future.set_result(
                         (batch, pass_started, time.perf_counter() - pass_started)
@@ -865,6 +936,10 @@ class ServerCore:
                 "limit": self.build_queue_limit,
             },
             "sessions": {"live": len(self._sessions)},
+            # Tracing and SLO read the same counters /metrics and /debug/slo
+            # use, so the surfaces reconcile by construction.
+            "tracing": self.tracer.stats(),
+            "slo": self.slo.totals_summary(self.metrics_snapshot()),
             "timings": {
                 "queue_wait": self.queue_wait.summary(),
                 "answer": self.answer_timing.summary(),

@@ -135,6 +135,11 @@ class LoadReport:
     hist_p95_ms: float = 0.0
     hist_p99_ms: float = 0.0
     percentile_method: str = PERCENTILE_METHOD
+    #: The requests at or above the run's p99, each citing the server-side
+    #: trace ID its batch response carried — so a recorded tail latency is
+    #: one ``GET /debug/traces/<id>`` away from its span tree (tail-based
+    #: retention keeps exactly these traces even under head sampling).
+    tail_exemplars: List[Dict[str, Any]] = field(default_factory=list)
     #: ``variant index -> list of per-request 'results' arrays`` (for
     #: bit-identity assertions against a serial oracle).
     answers: Dict[int, List[Any]] = field(default_factory=dict)
@@ -157,6 +162,7 @@ class LoadReport:
             "hist_p99_ms": self.hist_p99_ms,
             "latency_hist": dict(self.latency_hist),
             "percentile_method": self.percentile_method,
+            "tail_exemplars": [dict(entry) for entry in self.tail_exemplars],
         }
 
 
@@ -184,6 +190,7 @@ def run_load(
     endpoint = url.rstrip("/") + "/v2/batch"
 
     latencies: List[float] = []
+    trace_ids: List[Tuple[float, Any]] = []  # (latency_s, trace_id or None)
     outcomes = {"ok": 0, "rejected": 0, "failed": 0}
     answers: Dict[int, List[Any]] = {}
     lock = threading.Lock()
@@ -203,6 +210,7 @@ def run_load(
             if status == 200:
                 outcomes["ok"] += 1
                 latencies.append(elapsed)
+                trace_ids.append((elapsed, parsed.get("trace_id")))
                 answers.setdefault(variant, []).append(
                     [entry.get("result") for entry in parsed.get("results", [])]
                 )
@@ -266,6 +274,17 @@ def run_load(
     else:
         p50 = p95 = p99 = mx = 0.0
         hist_p50 = hist_p95 = hist_p99 = 0.0
+    tail_exemplars: List[Dict[str, Any]] = []
+    if latencies:
+        threshold_s = p99 / 1000.0
+        tail_exemplars = sorted(
+            (
+                {"latency_ms": lat * 1000.0, "trace_id": trace_id}
+                for lat, trace_id in trace_ids
+                if lat >= threshold_s and trace_id
+            ),
+            key=lambda entry: -entry["latency_ms"],
+        )[:16]
     return LoadReport(
         pattern=pattern,
         requests=issued,
@@ -282,5 +301,6 @@ def run_load(
         hist_p50_ms=hist_p50,
         hist_p95_ms=hist_p95,
         hist_p99_ms=hist_p99,
+        tail_exemplars=tail_exemplars,
         answers=answers,
     )

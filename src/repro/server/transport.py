@@ -220,8 +220,16 @@ def start_server(
     coalesce_seconds: float = 0.002,
     retry_after_seconds: float = 1.0,
     default_seed: Optional[int] = None,
+    trace_capacity: int = 128,
+    sampler: Optional[Any] = None,
+    slo_engine: Optional[Any] = None,
 ) -> ServerHandle:
     """Start an HTTP front-end; returns a :class:`ServerHandle` (``port=0`` ⇒ ephemeral).
+
+    ``sampler`` (:class:`~repro.obs.sampling.TraceSampler`) and
+    ``slo_engine`` (:class:`~repro.obs.slo.SLOEngine`) configure trace
+    retention and the ``/debug/slo`` objectives; ``None`` means the core's
+    defaults (keep every trace, stock objectives).
 
     The caller owns the handle: ``handle.stop()`` tears the transport and the
     core down (idempotent teardown is the transports' problem, not yours).
@@ -235,6 +243,9 @@ def start_server(
         retry_after_seconds=retry_after_seconds,
         default_seed=default_seed,
         transport=resolved,
+        trace_capacity=trace_capacity,
+        sampler=sampler,
+        slo_engine=slo_engine,
     )
     if resolved == "asyncio":
         bound_port, stop = _start_asyncio(core, host, port)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from .index import SemiLocalIndex
 from ..obs.metrics import get_registry
+from ..obs.trace import span_event
 
 __all__ = ["IndexCache", "DEFAULT_CACHE_BYTES"]
 
@@ -102,6 +103,9 @@ class IndexCache:
         os.replace(tmp_path, path)
         self.spill_saves += 1
         _SPILLS.inc(direction="save")
+        span_event(
+            "cache_spill_save", fingerprint=index.fingerprint, nbytes=index.nbytes
+        )
 
     def _spill_load(self, fingerprint: str) -> Optional[SemiLocalIndex]:
         path = self._spill_path(fingerprint)
@@ -120,6 +124,7 @@ class IndexCache:
             return None
         self.spill_loads += 1
         _SPILLS.inc(direction="load")
+        span_event("cache_spill_load", fingerprint=fingerprint, nbytes=index.nbytes)
         return index
 
     # ------------------------------------------------------------------- api

@@ -64,7 +64,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.plan import MultiplyPlan, resolve_plan
 from ..mpc.engine import fork_context, in_daemonic_process
 from ..obs.metrics import get_registry, relabel_snapshot
-from ..obs.trace import span
+from ..obs.trace import span, span_event
 from .cache import DEFAULT_CACHE_BYTES, IndexCache
 from .index import INDEX_KINDS, lcs_index_fingerprint, lis_index_fingerprint
 from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
@@ -631,11 +631,15 @@ class ShardRouter:
                     result = worker.call(cmd, payload)
                 except ShardWorkerCrash as crash:
                     last_crash = crash
+                    span_event(
+                        "shard_restart", shard=shard_id, attempt=attempt, cmd=cmd
+                    )
                     worker.restart()
                     with self._metrics_lock:
                         if attempt < self.retry_limit:
                             self.retries += 1
                             self._retries_metric.inc()
+                            span_event("shard_retry", shard=shard_id, attempt=attempt + 1)
                     continue
                 self._pipe_seconds.observe(time.perf_counter() - executing_from, cmd=cmd)
                 if request_count:

@@ -225,7 +225,13 @@ class TestTracing:
         for index in range(5):
             with tracer.start_trace("t", index=index):
                 pass
-        assert tracer.stats() == {"started": 5, "retained": 2, "capacity": 2}
+        assert tracer.stats() == {
+            "started": 5,
+            "retained": 2,
+            "capacity": 2,
+            "sampled_total": 5,
+            "dropped_total": 0,
+        }
 
 
 # ------------------------------------------- end-to-end server observability
