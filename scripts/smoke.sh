@@ -10,7 +10,15 @@
 # poll, cold/warm POST, per-shard /stats assertions reconciled against the
 # per-shard /metrics counters, trap teardown), a sampled serve-http cycle
 # (1% head rate: sampler counters tick, /debug/slo reconciles with /stats,
-# an SLO burn-rate artifact is recorded on shutdown and validated), the
+# an SLO burn-rate artifact is recorded on shutdown and validated, and the
+# --slo-history JSONL persists window rows across the restart boundary), a
+# chaos serve-http cycle (--shards 2 under a seeded --fault-plan injecting
+# a worker hang, a worker crash and spill corruption, with a 500 ms
+# hung-worker timeout: every request answered or failed fast with a
+# structured error, non-degraded answers bit-identical to a serial oracle,
+# hang/restart/fault counters on /stats, worker-side fault fires merged
+# into /metrics, and a 1 ms X-Repro-Deadline-Ms probe answering a
+# structured 504), the
 # quick service_latency load-generator spec, the quick shard_scaling spec
 # (cross-shard-count answer checksum identity), a streaming cold/warm cycle
 # (sliding-window session -> artifact validate), a quick perf pass gated
@@ -37,7 +45,10 @@ TREND_LOG="${TREND_LOG:-/tmp/repro-smoke-perf-trend.jsonl}"
 SERVE_HTTP_PORT="${SERVE_HTTP_PORT:-8077}"
 SHARD_HTTP_PORT="${SHARD_HTTP_PORT:-8078}"
 SLO_HTTP_PORT="${SLO_HTTP_PORT:-8079}"
+CHAOS_HTTP_PORT="${CHAOS_HTTP_PORT:-8081}"
 SLO_ARTIFACT="${SLO_ARTIFACT:-/tmp/repro-smoke-slo.json}"
+SLO_HISTORY="${SLO_HISTORY:-/tmp/repro-smoke-slo-history.jsonl}"
+CHAOS_PLAN="${CHAOS_PLAN:-/tmp/repro-smoke-fault-plan.json}"
 
 SERVER_PID=""
 cleanup() {
@@ -309,9 +320,10 @@ SERVER_PID=""
 
 echo
 echo "== sampled serve-http cycle (1% head rate): tail retention + SLO record =="
+rm -f "${SLO_HISTORY}"
 python -m repro serve-http --port "${SLO_HTTP_PORT}" --duration 60 \
     --trace-head-rate 0.01 --trace-tail-min-ms 250 \
-    --slo-record "${SLO_ARTIFACT}" &
+    --slo-record "${SLO_ARTIFACT}" --slo-history "${SLO_HISTORY}" --slo-alerts &
 SERVER_PID=$!
 python - "${SLO_HTTP_PORT}" <<'EOF'
 import json
@@ -376,6 +388,152 @@ kill -INT "${SERVER_PID}"
 wait "${SERVER_PID}"
 SERVER_PID=""
 test -s "${SLO_ARTIFACT}" || { echo "missing SLO artifact ${SLO_ARTIFACT}"; exit 1; }
+test -s "${SLO_HISTORY}" || { echo "missing SLO history ${SLO_HISTORY}"; exit 1; }
+
+echo
+echo "== chaos serve-http cycle (--shards 2 + seeded fault plan): resilience =="
+cat > "${CHAOS_PLAN}" <<'EOF'
+{
+  "seed": 42,
+  "rules": [
+    {"site": "worker.dispatch", "kind": "hang", "hits": [2],
+     "delay_ms": 30000, "match": {"shard": 0}},
+    {"site": "worker.dispatch", "kind": "crash", "hits": [3],
+     "match": {"shard": 1}},
+    {"site": "worker.dispatch", "kind": "delay", "hits": [1], "delay_ms": 50},
+    {"site": "cache.spill_load", "kind": "corrupt", "probability": 0.5}
+  ]
+}
+EOF
+python -m repro serve-http --port "${CHAOS_HTTP_PORT}" --shards 2 --duration 60 \
+    --worker-timeout-ms 500 --default-deadline-ms 30000 \
+    --fault-plan "${CHAOS_PLAN}" &
+SERVER_PID=$!
+python - "${CHAOS_HTTP_PORT}" <<'EOF'
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+
+def call(method, path, payload=None, headers=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request_headers = {"Content-Type": "application/json"}
+    if headers:
+        request_headers.update(headers)
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers=request_headers
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+for attempt in range(100):
+    try:
+        call("GET", "/healthz")
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("chaos serve-http did not come up within 10s")
+
+# Several distinct fingerprints so both (faulty) shards see traffic; the
+# same documents feed a serial in-process oracle for bit-identity.
+documents = [
+    {
+        "schema": "repro.service.requests",
+        "requests": [
+            {"op": "lis_length", "id": f"r{burst}-{seed}", "workload": "random",
+             "n": 256 + 64 * seed, "seed": seed}
+            for seed in range(4)
+        ],
+    }
+    for burst in range(4)
+]
+from repro.service import IndexCache, QueryService, parse_requests_document
+
+oracle = QueryService(cache=IndexCache())
+answered = 0
+for document in documents:
+    body = call("POST", "/v2/batch", document)
+    assert len(body["results"]) == len(document["requests"]), body
+    _, oracle_requests = parse_requests_document(document)
+    expected = [o.result for o in oracle.submit(oracle_requests).outcomes]
+    for entry, want in zip(body["results"], expected):
+        answered += 1
+        if entry["status"] == "ok" and not entry.get("degraded"):
+            assert entry["result"] == want, (
+                f"non-degraded answer diverged from the serial oracle: {entry}"
+            )
+        elif entry["status"] == "error":
+            assert entry["error"], f"unstructured error entry: {entry}"
+assert answered == sum(len(d["requests"]) for d in documents)
+
+stats = call("GET", "/stats")
+service = stats["service"]
+resilience = service["resilience"]
+assert resilience["fault_plan"] is not None, "fault plan not visible on /stats"
+assert service["restarts"] >= 1, f"no worker restarts under chaos: {service['restarts']}"
+assert resilience["hangs"] >= 1, f"hang never detected: {resilience}"
+assert set(resilience["breakers"]) == {"0", "1"}, resilience["breakers"]
+
+# Worker-side fault fires reach the merged /metrics exposition through the
+# per-shard registry snapshots (a killed worker's counts die with it — the
+# delay rule fires in every incarnation so survivors always carry one),
+# and the per-shard hang series reconciles with the /stats aggregate.
+with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+    text = response.read().decode("utf-8")
+assert "repro_breaker_state" in text, "breaker state gauge missing from /metrics"
+fired = sum(
+    float(line.rsplit(None, 1)[1])
+    for line in text.splitlines()
+    if line.startswith("repro_faults_injected_total{")
+)
+assert fired >= 1.0, "no injected faults counted on /metrics"
+hangs = sum(
+    float(line.rsplit(None, 1)[1])
+    for line in text.splitlines()
+    if line.startswith("repro_shard_hangs_total{")
+)
+# Stats/metrics polls are worker dispatches too, so the count can advance
+# between the two scrapes: bracket it instead of demanding equality.
+after = call("GET", "/stats")["service"]["resilience"]["hangs"]
+assert resilience["hangs"] <= hangs <= after, (
+    f"/metrics hangs {hangs} outside [{resilience['hangs']}, {after}]"
+)
+
+# An expired budget answers a structured 504 instead of hanging.
+tight = {
+    "schema": "repro.service.requests",
+    "requests": [
+        {"op": "lis_length", "id": "tight", "workload": "random",
+         "n": 4096, "seed": 99},
+    ],
+}
+try:
+    body = call("POST", "/v2/batch", tight, headers={"X-Repro-Deadline-Ms": "1"})
+    status = 200
+except urllib.error.HTTPError as exc:
+    status = exc.code
+    body = json.load(exc)
+assert status in (200, 504), status
+if status == 504:
+    assert body["results"][0]["deadline_exceeded"], body
+
+print(
+    f"chaos serve-http OK: {answered} requests answered under seeded faults "
+    f"(restarts={service['restarts']}, hangs={resilience['hangs']:g}, "
+    f"faults fired={fired:g}), non-degraded answers oracle-identical, "
+    f"/metrics reconciles with /stats"
+)
+EOF
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=""
 
 echo
 echo "== quick service_latency load-generator run -> ${LATENCY_ARTIFACT} =="

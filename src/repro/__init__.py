@@ -36,7 +36,7 @@ Public API highlights
   JSON artifacts behind the ``python -m repro`` CLI.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from . import (
     analysis,

@@ -144,8 +144,20 @@ def _build_cli_service(args, *, mode, delta, backend, cache_bytes, spill_dir):
     calibrates once per worker process, never in the parent and never per
     request.
     """
+    fault_plan = None
+    fault_spec = getattr(args, "fault_plan", None) or os.environ.get("REPRO_FAULT_PLAN")
+    if fault_spec:
+        from ..resilience import install_plan, plan_from_spec
+
+        fault_plan = plan_from_spec(fault_spec)
+    worker_timeout_ms = getattr(args, "worker_timeout_ms", None)
     shards = int(getattr(args, "shards", 0) or 0)
     if shards > 0:
+        extra: Dict[str, Any] = {}
+        if worker_timeout_ms is not None:
+            extra["worker_timeout"] = float(worker_timeout_ms) / 1000.0
+        if fault_plan is not None:
+            extra["fault_plan"] = fault_plan
         return ShardRouter(
             shards,
             mode=mode,
@@ -156,7 +168,13 @@ def _build_cli_service(args, *, mode, delta, backend, cache_bytes, spill_dir):
             base_size=args.base_size,
             cache_bytes=cache_bytes,
             spill_dir=spill_dir,
+            **extra,
         )
+    if fault_plan is not None:
+        # Single-process serving still honours the in-process fault sites
+        # (index.build, cache.spill_load); the router-owned sites need
+        # --shards to exist at all.
+        install_plan(fault_plan)
     return QueryService(
         cache=IndexCache(max_bytes=cache_bytes, spill_dir=spill_dir),
         mode=mode,
@@ -422,6 +440,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="on shutdown, evaluate the SLO engine against the final "
         "metrics snapshot and write the result as a schema-v1 artifact",
+    )
+    serve_http_parser.add_argument(
+        "--slo-history",
+        default=None,
+        metavar="PATH",
+        help="persist the SLO window history to a JSONL file and reload it "
+        "at startup, so burn rates survive server restarts",
+    )
+    serve_http_parser.add_argument(
+        "--slo-alerts",
+        action="store_true",
+        help="emit deduplicated page/ticket alerts as structured log lines "
+        "(periodic SLO evaluation with per-objective cooldown)",
+    )
+    serve_http_parser.add_argument(
+        "--slo-alert-webhook",
+        default=None,
+        metavar="URL",
+        help="additionally POST each emitted alert document to URL "
+        "(implies --slo-alerts; failures are counted, never fatal)",
+    )
+    serve_http_parser.add_argument(
+        "--slo-alert-cooldown",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="minimum spacing between repeat alerts for one objective at "
+        "an unchanged severity (transitions always emit immediately)",
+    )
+    serve_http_parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline budget applied to every POST /v2/batch without an "
+        "X-Repro-Deadline-Ms header; expired batches answer a structured "
+        "504 (default: no budget)",
+    )
+    serve_http_parser.add_argument(
+        "--worker-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="hung-worker liveness timeout for sharded serving: a worker "
+        "silent on its pipe this long is killed and restarted like a "
+        "crash (default 120000)",
+    )
+    serve_http_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection: a JSON object (inline, "
+        "starting with '{') or a path to one — "
+        '{"seed": N, "rules": [{"site", "kind", ...}]}; sites: '
+        "worker.dispatch, pipe.send, pipe.recv, cache.spill_load, "
+        "index.build; kinds: crash, hang, delay, error, corrupt",
     )
     _add_plan_arguments(serve_http_parser)
 
@@ -827,7 +901,15 @@ def _cmd_serve_http(args, out) -> int:
     if args.slo_config is not None:
         with open(args.slo_config, "r", encoding="utf-8") as fh:
             objectives = objectives_from_config(json.load(fh))
-    slo_engine = SLOEngine(objectives)
+    slo_engine = SLOEngine(objectives, history_path=args.slo_history)
+    alert_emitter = None
+    if args.slo_alerts or args.slo_alert_webhook:
+        from ..obs.alerts import AlertEmitter
+
+        alert_emitter = AlertEmitter(
+            cooldown_seconds=args.slo_alert_cooldown,
+            webhook_url=args.slo_alert_webhook,
+        )
     handle = start_server(
         service,
         host=args.host,
@@ -841,6 +923,8 @@ def _cmd_serve_http(args, out) -> int:
         trace_capacity=args.trace_capacity,
         sampler=sampler,
         slo_engine=slo_engine,
+        default_deadline_ms=args.default_deadline_ms,
+        alert_emitter=alert_emitter,
     )
     shard_note = (
         f", shards={service.shards}" if isinstance(service, ShardRouter) else ""

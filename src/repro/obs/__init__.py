@@ -18,7 +18,11 @@ Three cooperating pieces, threaded through every serving layer:
   retention, with every decision exposed as metrics.
 * :mod:`repro.obs.slo` — declarative SLOs (availability,
   latency-under-threshold) evaluated from registry snapshots with
-  multi-window burn rates (Google SRE workbook style).
+  multi-window burn rates (Google SRE workbook style); the window history
+  optionally persists to a JSONL file so burn rates survive restarts.
+* :mod:`repro.obs.alerts` — the deduplicated alert emitter: SLO verdicts
+  become structured log lines (and optional webhook POSTs) on severity
+  *transitions*, with per-objective cooldown instead of per-tick spam.
 * :mod:`repro.obs.report` — ``python -m repro report``: renders scaling
   curves, latency histograms, cache hit-rate tables and perf-over-commits
   trend tables from recorded ``results/*.json`` artifacts (matplotlib when
@@ -31,17 +35,20 @@ themselves without import cycles; ``sampling`` and ``slo`` build on
 ``metrics`` only; ``report`` is imported lazily by the CLI.
 """
 
-from . import metrics, sampling, slo, trace
+from . import alerts, metrics, sampling, slo, trace
+from .alerts import AlertEmitter
 from .metrics import MetricsRegistry, get_registry
 from .sampling import TraceSampler
 from .slo import SLOEngine, SLObjective
 from .trace import Tracer, current_trace_id, span, span_event
 
 __all__ = [
+    "alerts",
     "metrics",
     "sampling",
     "slo",
     "trace",
+    "AlertEmitter",
     "MetricsRegistry",
     "get_registry",
     "TraceSampler",

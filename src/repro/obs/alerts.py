@@ -1,0 +1,187 @@
+"""Deduplicated SLO alert emission: burn-rate verdicts → operator signals.
+
+The :class:`~repro.obs.slo.SLOEngine` produces a *stateless* verdict per
+evaluation ("this objective is paging right now").  Feeding that straight
+to an operator channel would page once per evaluation tick.  The
+:class:`AlertEmitter` sits between the two and owns the alerting
+*state machine*:
+
+- an alert is emitted when an objective's severity **changes**
+  (``ok → page``, ``page → ticket``, ``ticket → ok``, …) — recoveries are
+  first-class ``resolved`` events, emitted exactly once;
+- while the severity holds steady, re-emission is suppressed until
+  ``cooldown_seconds`` has elapsed since the last emission (a periodic
+  reminder, not a flood);
+- every emission is a structured JSON log line on the
+  ``repro.obs.alerts`` logger and, when ``webhook_url`` is set, a
+  best-effort ``POST`` of the same document (stdlib ``urllib`` only;
+  webhook failures are counted, never raised).
+
+The clock is injectable so cooldown behaviour is testable without
+sleeping, and :meth:`AlertEmitter.consume` returns the list of alerts it
+emitted so tests and callers can assert on them directly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import get_registry
+
+__all__ = ["AlertEmitter", "ALERT_SCHEMA_ID"]
+
+ALERT_SCHEMA_ID = "repro.server.alert"
+ALERT_SCHEMA_VERSION = 1
+
+_ALERTS = get_registry().counter(
+    "repro_slo_alerts_total",
+    "SLO alerts emitted, by objective and severity",
+    ("objective", "severity"),
+)
+
+logger = logging.getLogger("repro.obs.alerts")
+
+
+class AlertEmitter:
+    """Turns SLO evaluation documents into deduplicated alert events.
+
+    Parameters
+    ----------
+    cooldown_seconds:
+        Minimum spacing between two emissions for the *same* objective at
+        the *same* severity.  Transitions always emit immediately.
+    webhook_url:
+        Optional HTTP(S) endpoint; each alert document is POSTed as JSON.
+        Failures increment ``webhook_errors`` and are otherwise swallowed —
+        alerting must never take the server down.
+    sink:
+        Override for the structured-log side channel (tests).  Defaults to
+        an ``INFO``/``WARNING`` line on the ``repro.obs.alerts`` logger.
+    clock:
+        Injectable time source for the cooldown arithmetic.
+    """
+
+    def __init__(
+        self,
+        *,
+        cooldown_seconds: float = 300.0,
+        webhook_url: Optional[str] = None,
+        webhook_timeout_seconds: float = 2.0,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if cooldown_seconds < 0:
+            raise ValueError(f"cooldown_seconds must be >= 0, got {cooldown_seconds}")
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.webhook_url = webhook_url
+        self.webhook_timeout_seconds = float(webhook_timeout_seconds)
+        self._sink = sink if sink is not None else self._log_sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: objective name -> (last emitted severity, emission timestamp).
+        self._last: Dict[str, Tuple[str, float]] = {}
+        self.emitted_total = 0
+        self.suppressed_total = 0
+        self.webhook_errors = 0
+
+    # -------------------------------------------------------------- emission
+    @staticmethod
+    def _log_sink(alert: Dict[str, Any]) -> None:
+        line = json.dumps(alert, sort_keys=True)
+        if alert["severity"] == "ok":
+            logger.info(line)
+        else:
+            logger.warning(line)
+
+    def _post_webhook(self, alert: Dict[str, Any]) -> None:
+        if self.webhook_url is None:
+            return
+        body = json.dumps(alert).encode("utf-8")
+        request = urllib.request.Request(
+            self.webhook_url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.webhook_timeout_seconds
+            ):
+                pass
+        except (urllib.error.URLError, OSError, ValueError):
+            with self._lock:
+                self.webhook_errors += 1
+
+    def consume(self, slo_document: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        """Process one :meth:`SLOEngine.evaluate` document; emit what's due.
+
+        Returns the alerts actually emitted (possibly empty).  An objective
+        that has never been non-``ok`` emits nothing — ``resolved`` events
+        only follow a real alert.
+        """
+        now = self._clock()
+        emitted: List[Dict[str, Any]] = []
+        for objective in slo_document.get("objectives", []):
+            name = str(objective.get("name", ""))
+            alerts = objective.get("alerts") or {}
+            severity = str(alerts.get("severity", "ok"))
+            with self._lock:
+                previous = self._last.get(name)
+                if previous is None:
+                    if severity == "ok":
+                        # Healthy from the start: nothing to say (and no
+                        # state to keep — a later page still transitions).
+                        continue
+                    event = "fired"
+                elif severity != previous[0]:
+                    event = "resolved" if severity == "ok" else "fired"
+                elif severity == "ok":
+                    # Steady-state healthy after a resolve: stay quiet.
+                    continue
+                elif now - previous[1] < self.cooldown_seconds:
+                    self.suppressed_total += 1
+                    continue
+                else:
+                    event = "reminder"
+                self._last[name] = (severity, now)
+                self.emitted_total += 1
+            windows = objective.get("windows") or {}
+            alert = {
+                "schema": ALERT_SCHEMA_ID,
+                "version": ALERT_SCHEMA_VERSION,
+                "event": event,
+                "objective": name,
+                "severity": severity,
+                "previous_severity": previous[0] if previous else "ok",
+                "now_unix": now,
+                "burn_rates": {
+                    window: data.get("burn_rate")
+                    for window, data in windows.items()
+                },
+            }
+            _ALERTS.inc(objective=name, severity=severity)
+            self._sink(alert)
+            self._post_webhook(alert)
+            emitted.append(alert)
+        return emitted
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "cooldown_seconds": self.cooldown_seconds,
+                "webhook": bool(self.webhook_url),
+                "emitted": self.emitted_total,
+                "suppressed": self.suppressed_total,
+                "webhook_errors": self.webhook_errors,
+                "active": {
+                    name: severity
+                    for name, (severity, _) in self._last.items()
+                    if severity != "ok"
+                },
+            }

@@ -291,6 +291,21 @@ class MetricsRegistry:
             except ValueError:
                 pass
 
+    def reset(self) -> None:
+        """Zero every metric in place and drop all collectors (fork hygiene).
+
+        A forked child inherits a byte-copy of this registry — live counter
+        values and the parent's registered collectors included, which would
+        double-count once the child's snapshot is merged back into the
+        parent's exposition.  Clearing the sample *values* (not the metric
+        objects) keeps every module-level metric reference valid while the
+        child's counts start from zero.
+        """
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._samples.clear()
+            self._collectors.clear()
+
     # -------------------------------------------------------------- snapshot
     def snapshot(self) -> Dict[str, Any]:
         """A plain, picklable, JSON-safe view of every metric.

@@ -1,0 +1,303 @@
+"""Deterministic fault injection at named sites in the serving path.
+
+A :class:`FaultPlan` is a seeded, JSON-configurable list of rules, each
+binding a **site** (a named choke point the serving code instruments with
+:func:`fault_point`) to a fault **kind**:
+
+=========  ==============================================================
+``crash``  ``os._exit`` the current process (worker sites only) — the
+           router sees pipe EOF, exactly like a real segfault.
+``hang``   Sleep far past any timeout (default 3600 s) — exercises the
+           poll-with-budget hang detection and kill/restart path.
+``delay``  Sleep ``delay_ms`` then continue — exercises deadline expiry
+           without killing anything.
+``error``  Raise :class:`InjectedFault` — exercises structured error
+           propagation (workers answer with an ``internal`` envelope).
+``corrupt``  Returned to the caller (no side effect here): the cache
+           spill-load site truncates the ``.npz`` before reading it, so
+           the corrupt-file degrade-to-rebuild path runs for real.
+=========  ==============================================================
+
+Rules fire deterministically: ``hits`` names 1-based invocation indices of
+the rule's site (counted per process, after ``match`` filtering), and
+``probability`` draws from a per-rule ``random.Random`` seeded from
+``(plan seed, site, rule index)`` — the same plan replays the same fault
+sequence every run.  Fired faults are first-class observability events:
+``repro_faults_injected_total{site,kind}`` plus a ``fault_injected`` span
+event, so chaos runs are diagnosable from ``/metrics`` and traces alone.
+
+The plan is picklable and shipped to shard workers inside their
+:class:`~repro.service.sharding.ShardConfig`; :func:`install_plan` makes
+it visible to in-process sites (cache spill, index build, router pipe).
+
+Sites currently instrumented (:data:`FAULT_SITES`):
+
+- ``worker.dispatch`` — worker-process side, before executing a command
+- ``pipe.send`` / ``pipe.recv`` — router side of the worker pipe
+- ``cache.spill_load`` — before reading a spilled ``.npz``
+- ``index.build`` — before a cache-miss index build
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..obs.metrics import get_registry
+from ..obs.trace import span_event
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "fault_point",
+    "install_plan",
+    "plan_from_spec",
+    "uninstall_plan",
+]
+
+FAULT_KINDS = ("crash", "hang", "delay", "error", "corrupt")
+
+FAULT_SITES = (
+    "worker.dispatch",
+    "pipe.send",
+    "pipe.recv",
+    "cache.spill_load",
+    "index.build",
+)
+
+#: How long a "hang" sleeps when the rule gives no delay_ms: far past any
+#: sane worker timeout, so the poll-with-budget path always trips first.
+DEFAULT_HANG_SECONDS = 3600.0
+
+_INJECTED = get_registry().counter(
+    "repro_faults_injected_total", "Faults fired by the active FaultPlan", ("site", "kind")
+)
+
+
+class InjectedFault(RuntimeError):
+    """The error the ``error`` fault kind raises at its site."""
+
+
+class FaultRule:
+    """One (site, kind) binding with deterministic firing conditions."""
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        *,
+        hits: Optional[List[int]] = None,
+        probability: Optional[float] = None,
+        delay_ms: Optional[float] = None,
+        match: Optional[Mapping[str, Any]] = None,
+        max_fires: Optional[int] = None,
+    ) -> None:
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}; expected one of {FAULT_SITES}")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+        if hits is None and probability is None:
+            raise ValueError(f"rule for {site!r} needs 'hits' or 'probability'")
+        if probability is not None and not 0.0 < float(probability) <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self.site = site
+        self.kind = kind
+        self.hits = tuple(int(h) for h in hits) if hits is not None else None
+        self.probability = float(probability) if probability is not None else None
+        self.delay_ms = float(delay_ms) if delay_ms is not None else None
+        self.match = dict(match) if match else None
+        self.max_fires = int(max_fires) if max_fires is not None else None
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        if not self.match:
+            return True
+        return all(context.get(key) == value for key, value in self.match.items())
+
+    def describe(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.hits is not None:
+            doc["hits"] = list(self.hits)
+        if self.probability is not None:
+            doc["probability"] = self.probability
+        if self.delay_ms is not None:
+            doc["delay_ms"] = self.delay_ms
+        if self.match:
+            doc["match"] = dict(self.match)
+        if self.max_fires is not None:
+            doc["max_fires"] = self.max_fires
+        return doc
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` with per-rule hit accounting.
+
+    Picklable (the lock and injected sleep are rebuilt on unpickle) so it
+    ships to shard workers inside :class:`~repro.service.sharding.ShardConfig`.
+    Hit counters are **per process**: a restarted worker starts a fresh
+    count, which is exactly what makes a ``hits: [2]`` hang rule a
+    repeating-but-bounded irritant (each incarnation misbehaves once) —
+    the scenario circuit breakers exist for.
+    """
+
+    def __init__(self, rules: List[FaultRule], *, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rules = list(rules)
+        self._lock = threading.Lock()
+        self._sleep = time.sleep
+        self._hit_counts = [0] * len(self.rules)
+        self._fire_counts = [0] * len(self.rules)
+        self._rngs = [
+            random.Random(f"{self.seed}:{rule.site}:{index}")
+            for index, rule in enumerate(self.rules)
+        ]
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock")
+        state.pop("_sleep")
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._sleep = time.sleep
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(document, Mapping):
+            raise ValueError("fault plan must be a JSON object")
+        raw_rules = document.get("rules")
+        if not isinstance(raw_rules, list) or not raw_rules:
+            raise ValueError("fault plan needs a non-empty 'rules' list")
+        rules = []
+        for index, entry in enumerate(raw_rules):
+            if not isinstance(entry, Mapping):
+                raise ValueError(f"fault plan rule {index} must be an object")
+            rules.append(
+                FaultRule(
+                    str(entry.get("site", "")),
+                    str(entry.get("kind", "")),
+                    hits=entry.get("hits"),
+                    probability=entry.get("probability"),
+                    delay_ms=entry.get("delay_ms"),
+                    match=entry.get("match"),
+                    max_fires=entry.get("max_fires"),
+                )
+            )
+        return cls(rules, seed=int(document.get("seed", 0)))
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_document(json.load(handle))
+
+    # ---------------------------------------------------------------- firing
+    def fire(self, site: str, context: Mapping[str, Any]) -> Optional[str]:
+        """Decide and execute at most one fault for this site invocation.
+
+        Returns the fired kind (``"corrupt"`` asks the *caller* to act; the
+        other kinds' side effects already happened), or ``None``.
+        """
+        decision: Optional[int] = None
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.site != site or not rule.matches(context):
+                    continue
+                self._hit_counts[index] += 1
+                if rule.max_fires is not None and self._fire_counts[index] >= rule.max_fires:
+                    continue
+                fired = False
+                if rule.hits is not None and self._hit_counts[index] in rule.hits:
+                    fired = True
+                elif rule.probability is not None:
+                    fired = self._rngs[index].random() < rule.probability
+                if fired and decision is None:
+                    self._fire_counts[index] += 1
+                    decision = index
+                # Keep iterating: every matching rule's hit counter advances
+                # even when an earlier rule already claimed this invocation,
+                # so rule ordering never shifts another rule's schedule.
+        if decision is None:
+            return None
+        rule = self.rules[decision]
+        _INJECTED.inc(site=site, kind=rule.kind)
+        # Context keys are caller-chosen and may shadow "site"/"kind"
+        # (index.build passes kind=...), so namespace them.
+        span_event(
+            "fault_injected",
+            site=site,
+            kind=rule.kind,
+            **{f"ctx_{key}": value for key, value in context.items()},
+        )
+        if rule.kind == "delay":
+            self._sleep((rule.delay_ms or 0.0) / 1000.0)
+        elif rule.kind == "hang":
+            self._sleep(
+                (rule.delay_ms / 1000.0) if rule.delay_ms else DEFAULT_HANG_SECONDS
+            )
+        elif rule.kind == "error":
+            raise InjectedFault(f"injected fault at {site}")
+        elif rule.kind == "crash":
+            os._exit(13)
+        return rule.kind
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": [
+                    {**rule.describe(), "hit_count": hits, "fired": fires}
+                    for rule, hits, fires in zip(
+                        self.rules, self._hit_counts, self._fire_counts
+                    )
+                ],
+                "fired_total": sum(self._fire_counts),
+            }
+
+
+def plan_from_spec(spec: str) -> FaultPlan:
+    """Build a plan from a CLI/env spec: a JSON file path or inline JSON."""
+    spec = spec.strip()
+    if spec.startswith("{"):
+        return FaultPlan.from_document(json.loads(spec))
+    return FaultPlan.from_file(spec)
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active plan (``None`` disables)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def uninstall_plan() -> None:
+    install_plan(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def fault_point(site: str, **context: Any) -> Optional[str]:
+    """The hook the serving path calls at each named site (no-op when clean).
+
+    Returns the fired kind so sites with caller-handled kinds (``corrupt``)
+    can act; raises :class:`InjectedFault` / sleeps / exits per the rule.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(site, context)

@@ -1,0 +1,116 @@
+"""Retry policies: exponential backoff with decorrelated jitter + a budget.
+
+The fixed ``for attempt in range(retry_limit + 1)`` loop the shard router
+shipped with retries instantly — N callers hitting a sick shard at once
+re-hammer it in lockstep.  The standard fixes, both implemented here:
+
+``RetryPolicy``
+    *Decorrelated jitter* (the AWS architecture-blog variant): each sleep
+    is ``min(cap, uniform(base, previous * multiplier))``.  Sleeps stay
+    spread out even across many concurrent callers, and grow roughly
+    exponentially without synchronising.
+
+``RetryBudget``
+    A process-wide token bucket: every retry spends one token, every
+    *successful* call earns back ``refill_per_success`` (capped).  When
+    the bucket is empty, failures surface immediately instead of feeding a
+    retry storm — retries stay a small, self-limiting fraction of traffic.
+
+Both are injectable-clock/rng friendly so the property tests pin the exact
+bounds without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Decorrelated-jitter backoff parameters (pure math, no state).
+
+    ``base_seconds`` is both the first sleep's lower bound and the floor of
+    every later draw; ``cap_seconds`` bounds the worst case.  The canonical
+    decorrelated-jitter recurrence draws the next sleep from
+    ``uniform(base, previous * multiplier)`` and clamps at the cap.
+    """
+
+    base_seconds: float = 0.02
+    cap_seconds: float = 2.0
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0:
+            raise ValueError(f"base_seconds must be positive, got {self.base_seconds}")
+        if self.cap_seconds < self.base_seconds:
+            raise ValueError(
+                f"cap_seconds ({self.cap_seconds}) must be >= base_seconds "
+                f"({self.base_seconds})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def backoff(self, previous: float, rng: Optional[random.Random] = None) -> float:
+        """The next sleep after a sleep of ``previous`` seconds (0 = first)."""
+        draw = (rng or random).uniform(
+            self.base_seconds, max(self.base_seconds, previous * self.multiplier)
+        )
+        return min(self.cap_seconds, draw)
+
+
+class RetryBudget:
+    """Thread-safe retry token bucket shared across shards.
+
+    ``capacity`` bounds how many retries can burst; ``refill_per_success``
+    is the fraction of a token each successful call earns back, which makes
+    the steady-state retry rate at most that fraction of the success rate.
+    """
+
+    def __init__(self, capacity: float = 10.0, refill_per_success: float = 0.1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if refill_per_success < 0:
+            raise ValueError(
+                f"refill_per_success must be non-negative, got {refill_per_success}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+        self.spent = 0
+        self.exhausted = 0
+
+    def try_spend(self) -> bool:
+        """Take one retry token; ``False`` means the budget is exhausted."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent += 1
+                return True
+            self.exhausted += 1
+            return False
+
+    def credit(self) -> None:
+        """A successful call earns back a fraction of a token."""
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refill_per_success)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "tokens": self._tokens,
+                "refill_per_success": self.refill_per_success,
+                "spent": self.spent,
+                "exhausted": self.exhausted,
+            }

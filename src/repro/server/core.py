@@ -60,9 +60,17 @@ from ..obs.metrics import (
     merge_snapshots,
     render_prometheus,
 )
+from ..obs.alerts import AlertEmitter
 from ..obs.sampling import TraceSampler
 from ..obs.slo import SLOEngine
 from ..obs.trace import Tracer, current_trace_id, span, span_event
+from ..resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+    note_expiry,
+)
 from ..service import (
     INDEX_KINDS,
     QueryRequest,
@@ -119,6 +127,17 @@ def aiohttp_available() -> bool:
     return importlib.util.find_spec("aiohttp") is not None
 
 
+def _swallow_future_error(future: "asyncio.Future") -> None:
+    """Mark an abandoned pass future's exception as retrieved.
+
+    When every contributor's deadline expires before the pass finishes,
+    nobody is left to await the future — without this callback asyncio
+    logs a spurious "exception was never retrieved" at teardown.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
 class _HttpError(Exception):
     """Abort a request with a structured JSON error response."""
 
@@ -127,6 +146,20 @@ class _HttpError(Exception):
         self.status = int(status)
         self.message = message
         self.retry_after = retry_after
+
+
+class _JsonResponse:
+    """A routed payload that carries its own HTTP status (e.g. a 504 batch).
+
+    Unlike :class:`_HttpError` this is not an abort: the payload is a full,
+    well-formed response document — only the status line differs from 200.
+    """
+
+    __slots__ = ("status", "payload")
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = int(status)
+        self.payload = payload
 
 
 class _Timing:
@@ -196,11 +229,20 @@ class ServerCore:
         trace_capacity: int = 128,
         sampler: Optional[TraceSampler] = None,
         slo_engine: Optional[SLOEngine] = None,
+        default_deadline_ms: Optional[float] = None,
+        alert_emitter: Optional[AlertEmitter] = None,
+        slo_eval_seconds: float = 5.0,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         if build_queue_limit < 1:
             raise ValueError(f"build_queue_limit must be positive, got {build_queue_limit}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {default_deadline_ms}"
+            )
+        if slo_eval_seconds <= 0:
+            raise ValueError(f"slo_eval_seconds must be positive, got {slo_eval_seconds}")
         self.service = service if service is not None else QueryService()
         # Shard routers advertise how many calls may run at once; plain
         # services default to 1 and keep the historical strict serialisation.
@@ -236,6 +278,15 @@ class ServerCore:
         #: from the same merged snapshot ``/metrics`` renders
         #: (``GET /debug/slo``).
         self.slo = slo_engine if slo_engine is not None else SLOEngine()
+        #: Deadline budget applied to every ``POST /v2/batch`` that does
+        #: not carry its own ``X-Repro-Deadline-Ms`` header.  ``None`` keeps
+        #: the historical unbounded behaviour.
+        self.default_deadline_ms = default_deadline_ms
+        #: Deduplicated page/ticket emission; when set, a background loop
+        #: evaluates the SLO engine every ``slo_eval_seconds`` and feeds
+        #: the verdicts through the emitter.
+        self.alert_emitter = alert_emitter
+        self.slo_eval_seconds = float(slo_eval_seconds)
 
         self.inflight = 0
         self.peak_inflight = 0
@@ -252,6 +303,8 @@ class ServerCore:
         self.builds_done = 0
         self.builds_failed = 0
         self.internal_errors = 0
+        self.deadline_expired = 0
+        self.degraded_answers = 0
         self.queue_wait = _Timing()
         self.answer_timing = _Timing()
         self.build_wait = _Timing()
@@ -267,6 +320,27 @@ class ServerCore:
         self._executor = ThreadPoolExecutor(
             max_workers=self.service_concurrency, thread_name_prefix="repro-service"
         )
+        if self.alert_emitter is not None or self.slo.history_path is not None:
+            # Continuous evaluation matters when someone is listening
+            # (alerts) or when the window history must persist across
+            # restarts; otherwise /debug/slo evaluates on demand as before.
+            self._spawn(self._slo_loop())
+
+    def _evaluate_slo(self) -> Dict[str, Any]:
+        """One SLO tick (runs on the service thread: snapshots poll pipes)."""
+        document = self.slo.evaluate(self.metrics_snapshot())
+        if self.alert_emitter is not None:
+            self.alert_emitter.consume(document)
+        return document
+
+    async def _slo_loop(self) -> None:
+        """Periodic SLO evaluation: feeds the alert emitter + history file."""
+        while True:
+            await asyncio.sleep(self.slo_eval_seconds)
+            try:
+                await self._in_service_thread(self._evaluate_slo)
+            except Exception:  # noqa: BLE001 — the eval loop must survive
+                self.internal_errors += 1
 
     async def shutdown(self) -> None:
         for task in list(self._tasks):
@@ -298,13 +372,46 @@ class ServerCore:
         )
 
     # ------------------------------------------------------------------ routing
+    def _edge_deadline(
+        self, headers: Optional[Dict[str, str]]
+    ) -> Optional[Deadline]:
+        """The batch deadline: ``X-Repro-Deadline-Ms`` header, else default."""
+        raw = None
+        if headers:
+            for key, value in headers.items():
+                if key.lower() == "x-repro-deadline-ms":
+                    raw = value
+                    break
+        if raw is None:
+            if self.default_deadline_ms is None:
+                return None
+            return Deadline.after_ms(self.default_deadline_ms)
+        try:
+            budget_ms = float(raw)
+            if budget_ms <= 0:
+                raise ValueError
+        except (TypeError, ValueError):
+            raise _HttpError(
+                400,
+                f"X-Repro-Deadline-Ms must be a positive number of "
+                f"milliseconds, got {raw!r}",
+            ) from None
+        return Deadline.after_ms(budget_ms)
+
     async def handle(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """Answer one HTTP request: ``(status, extra_headers, payload)``.
 
         The payload is JSON unless the handler set its own ``Content-Type``
         in the extra headers (``/metrics`` returns Prometheus text).
+        ``headers`` carries the request headers the core reads
+        (``X-Repro-Deadline-Ms``); ``None`` means "no budget header", so
+        direct callers and old transports keep working unchanged.
         """
         started = time.perf_counter()
         path, _, raw_query = path.partition("?")
@@ -314,27 +421,41 @@ class ServerCore:
         route = self._route_label(method, path)
         exemplar = None
         if method == "POST" and path == "/v2/batch":
-            # The trace-everything path is gone: every batch is still
-            # *traced* (tail retention needs the duration of every request),
-            # but the sampler decides at completion whether the trace stays
-            # in the ring buffer.  The head verdict is deterministic in the
-            # trace ID; the route keys the per-route tail threshold.
-            with self.tracer.start_trace(
-                "edge", route=route, method=method, path=path
-            ) as trace:
-                status, headers, payload = await self._handle_routed(
-                    method, path, query, body
+            try:
+                deadline = self._edge_deadline(headers)
+            except _HttpError as exc:
+                status, headers_out, payload = (
+                    exc.status,
+                    {},
+                    self._encode({"error": exc.message, "status": exc.status}),
                 )
-            # The root span finished when the with-block exited, so the
-            # retention verdict is in; only retained traces become
-            # exemplars — an exemplar must resolve via /debug/traces/<id>.
-            if trace.retained:
-                exemplar = trace.trace_id
+            else:
+                # The trace-everything path is gone: every batch is still
+                # *traced* (tail retention needs the duration of every
+                # request), but the sampler decides at completion whether
+                # the trace stays in the ring buffer.  The head verdict is
+                # deterministic in the trace ID; the route keys the
+                # per-route tail threshold.  The deadline scope wraps the
+                # trace so every span below can read the remaining budget.
+                with deadline_scope(deadline):
+                    with self.tracer.start_trace(
+                        "edge", route=route, method=method, path=path
+                    ) as trace:
+                        status, headers_out, payload = await self._handle_routed(
+                            method, path, query, body
+                        )
+                # The root span finished when the with-block exited, so the
+                # retention verdict is in; only retained traces become
+                # exemplars — an exemplar must resolve via /debug/traces/<id>.
+                if trace.retained:
+                    exemplar = trace.trace_id
         else:
-            status, headers, payload = await self._handle_routed(method, path, query, body)
+            status, headers_out, payload = await self._handle_routed(
+                method, path, query, body
+            )
         _HTTP_REQUESTS.inc(method=method, route=route, status=status)
         _HTTP_SECONDS.observe(time.perf_counter() - started, route=route, exemplar=exemplar)
-        return status, headers, payload
+        return status, headers_out, payload
 
     async def _handle_routed(
         self, method: str, path: str, query: Dict[str, List[str]], body: bytes
@@ -343,6 +464,8 @@ class ServerCore:
             payload = await self._route(method, path, query, body)
             if isinstance(payload, tuple):  # (extra_headers, raw_bytes) — /metrics
                 return 200, payload[0], payload[1]
+            if isinstance(payload, _JsonResponse):  # e.g. a whole-batch 504
+                return payload.status, {}, self._encode(payload.payload)
             return 200, {}, self._encode(payload)
         except _HttpError as exc:
             headers = {}
@@ -518,7 +641,35 @@ class ServerCore:
             raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
 
     # ------------------------------------------------------------------- batch
-    async def _post_batch(self, document: Any) -> Dict[str, Any]:
+    async def _post_batch(self, document: Any) -> Any:
+        """Deadline plumbing around :meth:`_post_batch_inner`.
+
+        A document-level ``deadline_ms`` can only *tighten* the budget the
+        edge already installed from the header / server default — a client
+        cannot talk itself into more time than the operator allowed.
+        """
+        doc_deadline: Optional[Deadline] = None
+        if isinstance(document, dict) and document.get("deadline_ms") is not None:
+            try:
+                budget_ms = float(document["deadline_ms"])
+                if budget_ms <= 0:
+                    raise ValueError
+            except (TypeError, ValueError):
+                raise _HttpError(
+                    400,
+                    f"deadline_ms must be a positive number of milliseconds, "
+                    f"got {document['deadline_ms']!r}",
+                ) from None
+            ambient = current_deadline()
+            doc_deadline = (
+                ambient.tighten_ms(budget_ms)
+                if ambient is not None
+                else Deadline.after_ms(budget_ms)
+            )
+        with deadline_scope(doc_deadline):
+            return await self._post_batch_inner(document)
+
+    async def _post_batch_inner(self, document: Any) -> Any:
         received = time.perf_counter()
         defaults, parsed, errors = parse_requests_lenient(
             document, default_seed=self.default_seed
@@ -581,7 +732,13 @@ class ServerCore:
         ok = sum(1 for entry in slots if entry is not None and entry.get("status") == "ok")
         self.requests_answered += ok
         self.requests_failed += total - ok
-        return {
+        expired = sum(
+            1 for entry in slots if entry is not None and entry.get("deadline_exceeded")
+        )
+        degraded = sum(
+            1 for entry in slots if entry is not None and entry.get("degraded")
+        )
+        response = {
             "schema": BATCH_SCHEMA_ID,
             "version": 1,
             "transport": self.transport,
@@ -590,8 +747,16 @@ class ServerCore:
             "results": slots,
             "ok": ok,
             "errors": total - ok,
+            "deadline_expired": expired,
+            "degraded": degraded,
             "seconds": time.perf_counter() - received,
         }
+        if expired and ok == 0:
+            # Nothing in the batch beat its budget: the whole response is a
+            # structured 504.  Mixed batches stay 200 — expiry is isolated
+            # per request in its result entry.
+            return _JsonResponse(504, response)
+        return response
 
     async def _submit_requests(
         self,
@@ -631,10 +796,47 @@ class ServerCore:
             if coalesce_span is not None:
                 coalesce_span.set(joined=joined)
 
+            deadline = current_deadline()
             try:
-                batch, pass_started, pass_seconds = await asyncio.shield(pending.future)
+                waiter = asyncio.shield(pending.future)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        waiter.cancel()
+                        raise asyncio.TimeoutError
+                    batch, pass_started, pass_seconds = await asyncio.wait_for(
+                        waiter, timeout=remaining
+                    )
+                else:
+                    batch, pass_started, pass_seconds = await waiter
             except asyncio.CancelledError:
                 raise
+            except (asyncio.TimeoutError, DeadlineExceeded) as exc:
+                # The budget died here at the edge (TimeoutError) or deeper
+                # down (DeadlineExceeded, already counted at its stage).
+                # Either way: structured per-request errors, the pass itself
+                # keeps running for any contributor with budget left.
+                if isinstance(exc, asyncio.TimeoutError):
+                    note_expiry("edge", requests=len(members))
+                pending.future.add_done_callback(_swallow_future_error)
+                self.deadline_expired += len(members)
+                message = (
+                    f"deadline exceeded ({deadline.describe()})"
+                    if deadline is not None
+                    else f"deadline exceeded: {exc}"
+                )
+                return [
+                    (
+                        idx,
+                        {
+                            "id": request.request_id,
+                            "status": "error",
+                            "error": message,
+                            "deadline_exceeded": True,
+                        },
+                    )
+                    for idx, request in members
+                ]
             except Exception as exc:  # noqa: BLE001 — fault isolation per group
                 message = f"{type(exc).__name__}: {exc}"
                 return [
@@ -650,12 +852,16 @@ class ServerCore:
         with span("answer", requests=len(members)):
             for slot, (idx, request) in enumerate(members):
                 outcome = batch.outcomes[offset + slot]
+                degraded = bool(getattr(outcome, "degraded", False))
+                if degraded:
+                    self.degraded_answers += 1
                 entries.append(
                     (
                         idx,
                         {
                             "id": request.request_id,
                             "status": "ok",
+                            "degraded": degraded,
                             "op": outcome.op,
                             "target": outcome.target,
                             "index_kind": outcome.index_kind,
@@ -916,6 +1122,17 @@ class ServerCore:
                 "rejected": self.requests_rejected,
                 "failed": self.requests_failed,
                 "parse_errors": self.parse_errors,
+                "deadline_expired": self.deadline_expired,
+                "degraded": self.degraded_answers,
+            },
+            "resilience": {
+                "default_deadline_ms": self.default_deadline_ms,
+                "alerts": (
+                    self.alert_emitter.stats()
+                    if self.alert_emitter is not None
+                    else None
+                ),
+                "slo_history_path": self.slo.history_path,
             },
             "coalescing": {
                 "passes": self.passes,

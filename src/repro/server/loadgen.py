@@ -25,7 +25,7 @@ import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,16 +73,23 @@ def percentile_linear(values: Sequence[float], q: float) -> float:
 
 
 def post_json(
-    url: str, payload: Any, timeout: float = 30.0
+    url: str,
+    payload: Any,
+    timeout: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], Any]:
     """POST a JSON document; returns ``(status, headers, parsed_body)``.
 
     HTTP error statuses (4xx/5xx) are returned, not raised — the load
-    generator must count 429s, not crash on them.
+    generator must count 429s, not crash on them.  ``headers`` adds or
+    overrides request headers (e.g. ``X-Repro-Deadline-Ms``).
     """
     body = json.dumps(payload).encode("utf-8")
+    request_headers = {"Content-Type": "application/json"}
+    if headers:
+        request_headers.update(headers)
     request = urllib.request.Request(
-        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+        url, data=body, headers=request_headers, method="POST"
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:

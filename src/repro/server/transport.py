@@ -82,11 +82,13 @@ async def _serve_connection(
             await writer.drain()
             return
         content_length = 0
+        request_headers: dict = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            request_headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
@@ -97,10 +99,14 @@ async def _serve_connection(
             await writer.drain()
             return
         body = await reader.readexactly(content_length) if content_length else b""
-        status, extra_headers, payload = await core.handle(method, path, body)
+        status, extra_headers, payload = await core.handle(
+            method, path, body, headers=request_headers
+        )
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 429: "Too Many Requests",
-                  500: "Internal Server Error"}.get(status, "OK")
+                  500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "OK")
         # The handler may override Content-Type (/metrics serves Prometheus
         # text); everything else is JSON.
         content_type = extra_headers.pop("Content-Type", "application/json")
@@ -175,8 +181,12 @@ def _start_thread(core: ServerCore, host: str, port: int):
                 self.send_error(413)
                 return
             body = self.rfile.read(length) if length else b""
+            request_headers = {
+                name.lower(): value for name, value in self.headers.items()
+            }
             status, extra_headers, payload = asyncio.run_coroutine_threadsafe(
-                core.handle(self.command, self.path, body), loop
+                core.handle(self.command, self.path, body, headers=request_headers),
+                loop,
             ).result(timeout=300)
             self.send_response(status)
             content_type = extra_headers.pop("Content-Type", "application/json")
@@ -223,13 +233,21 @@ def start_server(
     trace_capacity: int = 128,
     sampler: Optional[Any] = None,
     slo_engine: Optional[Any] = None,
+    default_deadline_ms: Optional[float] = None,
+    alert_emitter: Optional[Any] = None,
+    slo_eval_seconds: float = 5.0,
 ) -> ServerHandle:
     """Start an HTTP front-end; returns a :class:`ServerHandle` (``port=0`` ⇒ ephemeral).
 
     ``sampler`` (:class:`~repro.obs.sampling.TraceSampler`) and
     ``slo_engine`` (:class:`~repro.obs.slo.SLOEngine`) configure trace
     retention and the ``/debug/slo`` objectives; ``None`` means the core's
-    defaults (keep every trace, stock objectives).
+    defaults (keep every trace, stock objectives).  ``default_deadline_ms``
+    puts a budget on every batch that does not send its own
+    ``X-Repro-Deadline-Ms``; ``alert_emitter``
+    (:class:`~repro.obs.alerts.AlertEmitter`) turns on the periodic SLO
+    evaluation loop (every ``slo_eval_seconds``) with deduplicated
+    page/ticket emission.
 
     The caller owns the handle: ``handle.stop()`` tears the transport and the
     core down (idempotent teardown is the transports' problem, not yours).
@@ -246,6 +264,9 @@ def start_server(
         trace_capacity=trace_capacity,
         sampler=sampler,
         slo_engine=slo_engine,
+        default_deadline_ms=default_deadline_ms,
+        alert_emitter=alert_emitter,
+        slo_eval_seconds=slo_eval_seconds,
     )
     if resolved == "asyncio":
         bound_port, stop = _start_asyncio(core, host, port)

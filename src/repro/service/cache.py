@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from .index import SemiLocalIndex
 from ..obs.metrics import get_registry
 from ..obs.trace import span_event
+from ..resilience.faults import fault_point
 
 __all__ = ["IndexCache", "DEFAULT_CACHE_BYTES"]
 
@@ -111,6 +112,15 @@ class IndexCache:
         path = self._spill_path(fingerprint)
         if path is None or not os.path.exists(path):
             return None
+        if fault_point("cache.spill_load", fingerprint=fingerprint) == "corrupt":
+            # Chaos plans corrupt the file *for real* (truncate to garbage)
+            # so the degrade-to-rebuild path below runs exactly as it would
+            # for a torn write or a foreign file — no simulated shortcut.
+            try:
+                with open(path, "wb") as handle:
+                    handle.write(b"corrupt")
+            except OSError:
+                pass
         try:
             index = SemiLocalIndex.load(path)
         except Exception:

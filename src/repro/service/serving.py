@@ -44,6 +44,7 @@ from .index import (
 from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
 from ..obs.metrics import get_registry
 from ..obs.trace import span
+from ..resilience.faults import fault_point
 
 __all__ = ["RequestOutcome", "ServiceBatchResult", "QueryService"]
 
@@ -84,6 +85,10 @@ class RequestOutcome:
     #: Number of interval evaluations this request contributed.
     num_queries: int
     seconds: float
+    #: True when the answer came from a degraded path (the shard router's
+    #: inline fallback while the owning shard's breaker was open).  Flows
+    #: verbatim into the HTTP response entry and ``/stats``.
+    degraded: bool = False
 
     def result_summary(self) -> Dict[str, Any]:
         """Compact JSON-safe view (artifacts truncate long result arrays)."""
@@ -204,6 +209,7 @@ class QueryService:
                 fingerprint = lis_index_fingerprint(realised, kind, strict)
             self._fingerprints[key] = fingerprint
         def _traced_build() -> SemiLocalIndex:
+            fault_point("index.build", kind=kind)
             with span("build", kind=kind, fingerprint=fingerprint[:12]):
                 return self._build_index(target, kind, strict, realised)
 

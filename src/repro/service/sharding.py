@@ -54,17 +54,22 @@ import bisect
 import contextvars
 import hashlib
 import os
+import random
 import shutil
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.plan import MultiplyPlan, resolve_plan
 from ..mpc.engine import fork_context, in_daemonic_process
 from ..obs.metrics import get_registry, relabel_snapshot
 from ..obs.trace import span, span_event
+from ..resilience.breaker import BREAKER_STATE_CODES, BreakerConfig, CircuitBreaker
+from ..resilience.deadline import DeadlineExceeded, current_deadline, note_expiry
+from ..resilience.faults import FaultPlan, active_plan, fault_point, install_plan
+from ..resilience.retry import RetryBudget, RetryPolicy
 from .cache import DEFAULT_CACHE_BYTES, IndexCache
 from .index import INDEX_KINDS, lcs_index_fingerprint, lis_index_fingerprint
 from .requests import OPS, QueryRequest, ServiceRequestError, TargetSpec
@@ -75,17 +80,45 @@ __all__ = [
     "IndexInfo",
     "ShardConfig",
     "ShardRouter",
+    "ShardRetriesExhausted",
     "ShardWorkerCrash",
+    "ShardWorkerHang",
     "DEFAULT_RING_REPLICAS",
+    "DEFAULT_WORKER_TIMEOUT",
 ]
 
 #: Virtual nodes per shard on the hash ring.  More replicas smooth the key
 #: distribution (the std-dev of per-shard load shrinks like 1/sqrt(R)).
 DEFAULT_RING_REPLICAS = 96
 
+#: How long the router waits on a worker pipe before declaring the worker
+#: hung and killing it (seconds).  Generous by default — an index build can
+#: legitimately take a while — and tightened per deployment via
+#: ``--worker-timeout-ms``.  Request deadlines bound individual waits much
+#: tighter; this is the *liveness* backstop that replaces the old
+#: wait-forever ``conn.recv()``.
+DEFAULT_WORKER_TIMEOUT = 120.0
+
+#: Pipe poll granularity: small enough that kill decisions are prompt,
+#: large enough that an idle wait costs ~20 wakeups/second at worst.
+_POLL_STEP = 0.05
+
 
 class ShardWorkerCrash(RuntimeError):
     """A worker process died mid-call (pipe EOF / dead process)."""
+
+
+class ShardWorkerHang(ShardWorkerCrash):
+    """A worker stayed alive but unresponsive past the worker timeout.
+
+    Subclasses :class:`ShardWorkerCrash` deliberately: a hung worker is
+    *killed* and then handled exactly like a crashed one (restart, bounded
+    retry) — the taxonomy only matters for counters and span events.
+    """
+
+
+class ShardRetriesExhausted(RuntimeError):
+    """A sub-batch failed through every allowed retry (crash loop / budget)."""
 
 
 class ConsistentHashRing:
@@ -160,6 +193,10 @@ class ShardConfig:
     plan: Union[None, str, MultiplyPlan] = None
     fanin: Optional[int] = None
     base_size: Optional[int] = None
+    #: Chaos-testing plan, installed by each worker at startup so the
+    #: worker-side fault sites (dispatch, spill load, index build) fire in
+    #: the worker process (plans are picklable; counters restart per pid).
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _worker_spill_dir(config: ShardConfig, shard_id: int) -> Optional[str]:
@@ -257,6 +294,12 @@ def _shard_worker_main(conn, shard_id: int, config: ShardConfig) -> None:
     malformed request never kills the worker; only a genuine crash (signal,
     interpreter death) severs the pipe and triggers the restart path.
     """
+    # Fork copies the parent's live registry (counters mid-flight, the
+    # router's own collector): start this process's counts from zero or the
+    # merged /metrics exposition double-counts after every worker restart.
+    get_registry().reset()
+    if config.fault_plan is not None:
+        install_plan(config.fault_plan)
     service, spill_dir = _build_worker_service(config, shard_id)
     try:
         while True:
@@ -271,6 +314,11 @@ def _shard_worker_main(conn, shard_id: int, config: ShardConfig) -> None:
                     pass
                 break
             try:
+                # The dispatch fault site runs inside the error envelope:
+                # "error" faults travel back as structured internal errors,
+                # while "crash"/"hang" behave like the real thing (pipe EOF
+                # / unresponsive worker) and exercise the recovery paths.
+                fault_point("worker.dispatch", shard=shard_id, cmd=cmd)
                 result = _execute_command(service, shard_id, spill_dir, cmd, payload)
                 conn.send(("ok", result))
             except ServiceRequestError as exc:
@@ -297,9 +345,16 @@ class _WorkerBase:
         self.requests_routed = 0
         self.sub_batches = 0
         self.restarts = 0
+        self.hangs = 0
         self.spill_dir: Optional[str] = None
 
-    def call(self, cmd: str, payload: Any) -> Any:
+    def call(
+        self,
+        cmd: str,
+        payload: Any,
+        deadline_seconds: Optional[float] = None,
+        hang_seconds: Optional[float] = None,
+    ) -> Any:
         raise NotImplementedError
 
     def restart(self) -> None:
@@ -323,6 +378,11 @@ class _ProcessWorker(_WorkerBase):
         self._ctx = ctx
         self.process = None
         self.conn = None
+        #: Answers owed to calls a deadline abandoned mid-wait.  The pipe is
+        #: strictly request→response, so an abandoned call leaves one stale
+        #: message in flight; the next call drains it first to stay in sync
+        #: (this is what keeps a short deadline from costing a warm cache).
+        self._stale = 0
         self._spawn()
 
     def _spawn(self) -> None:
@@ -337,6 +397,7 @@ class _ProcessWorker(_WorkerBase):
         child.close()
         self.process = process
         self.conn = parent
+        self._stale = 0
         # The worker derives its spill subdir from its own pid; mirror the
         # derivation here so leftover directories of *crashed* workers can
         # still be removed at router close.
@@ -345,11 +406,34 @@ class _ProcessWorker(_WorkerBase):
                 self.config.spill_root, f"shard{self.shard_id}-pid{process.pid}"
             )
 
-    def call(self, cmd: str, payload: Any) -> Any:
+    def call(
+        self,
+        cmd: str,
+        payload: Any,
+        deadline_seconds: Optional[float] = None,
+        hang_seconds: Optional[float] = None,
+    ) -> Any:
+        """One pipe round-trip, waited with poll — never a blocking recv.
+
+        ``hang_seconds`` is the liveness budget: a worker that produces no
+        answer within it is declared hung, **killed** and reported as
+        :class:`ShardWorkerHang` (the restart/retry path treats it exactly
+        like a crash).  ``deadline_seconds`` is the *request's* remaining
+        budget: when it runs out first the call is abandoned — the worker
+        stays alive (its answer is drained by the next call) and the caller
+        gets :class:`~repro.resilience.deadline.DeadlineExceeded`.
+        """
         if self.process is None or not self.process.is_alive():
             raise ShardWorkerCrash(f"shard {self.shard_id} worker process is dead")
+        now = time.monotonic()
+        hang_at = now + hang_seconds if hang_seconds is not None else None
+        deadline_at = now + deadline_seconds if deadline_seconds is not None else None
         try:
+            self._drain_stale(hang_at)
+            fault_point("pipe.send", shard=self.shard_id, cmd=cmd)
             self.conn.send((cmd, payload))
+            fault_point("pipe.recv", shard=self.shard_id, cmd=cmd)
+            self._await_answer(cmd, hang_at, deadline_at)
             status, result = self.conn.recv()
         except (EOFError, OSError, BrokenPipeError) as exc:
             raise ShardWorkerCrash(
@@ -361,6 +445,66 @@ class _ProcessWorker(_WorkerBase):
         if category == "request":
             raise ServiceRequestError(message)
         raise RuntimeError(f"shard {self.shard_id} worker error: {message}")
+
+    def _drain_stale(self, hang_at: Optional[float]) -> None:
+        """Discard answers owed to deadline-abandoned calls (resync the pipe)."""
+        while self._stale > 0:
+            now = time.monotonic()
+            if hang_at is not None and now >= hang_at:
+                self.hangs += 1
+                self._kill()
+                raise ShardWorkerHang(
+                    f"shard {self.shard_id} worker never delivered an abandoned "
+                    f"call's answer; killed"
+                )
+            step = _POLL_STEP if hang_at is None else min(_POLL_STEP, hang_at - now)
+            if self.conn.poll(max(step, 0.0)):
+                self.conn.recv()
+                self._stale -= 1
+            elif self.process is None or not self.process.is_alive():
+                raise ShardWorkerCrash(
+                    f"shard {self.shard_id} worker died while draining stale answers"
+                )
+
+    def _await_answer(
+        self, cmd: str, hang_at: Optional[float], deadline_at: Optional[float]
+    ) -> None:
+        """Poll until the answer is readable, a timeout fires, or the worker dies."""
+        while True:
+            now = time.monotonic()
+            step = _POLL_STEP
+            if hang_at is not None:
+                if now >= hang_at:
+                    self.hangs += 1
+                    self._kill()
+                    raise ShardWorkerHang(
+                        f"shard {self.shard_id} worker unresponsive on {cmd!r}; killed"
+                    )
+                step = min(step, hang_at - now)
+            if deadline_at is not None:
+                if now >= deadline_at:
+                    # Abandon, don't kill: the worker is (as far as we know)
+                    # healthy mid-compute; its late answer is drained by the
+                    # next call so the warm cache survives the tight budget.
+                    self._stale += 1
+                    note_expiry("worker", shard=self.shard_id, cmd=cmd)
+                    raise DeadlineExceeded(
+                        f"deadline expired waiting on shard {self.shard_id} ({cmd})",
+                        stage="worker",
+                    )
+                step = min(step, deadline_at - now)
+            if self.conn.poll(max(step, 0.0)):
+                return
+            if self.process is None or not self.process.is_alive():
+                raise ShardWorkerCrash(
+                    f"shard {self.shard_id} worker died mid-call (process exit)"
+                )
+
+    def _kill(self) -> None:
+        """Terminate a hung-but-alive worker so restart() does not wait on it."""
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+        self._stale = 0
 
     def restart(self) -> None:
         self._teardown(graceful=False)
@@ -409,7 +553,16 @@ class _InlineWorker(_WorkerBase):
         super().__init__(shard_id, config)
         self._service, self.spill_dir = _build_worker_service(config, shard_id)
 
-    def call(self, cmd: str, payload: Any) -> Any:
+    def call(
+        self,
+        cmd: str,
+        payload: Any,
+        deadline_seconds: Optional[float] = None,
+        hang_seconds: Optional[float] = None,
+    ) -> Any:
+        # Inline execution cannot hang on a pipe; the timeouts are accepted
+        # for signature parity and ignored (deadlines are still enforced at
+        # the router and edge checkpoints around this call).
         return _execute_command(self._service, self.shard_id, self.spill_dir, cmd, payload)
 
     def restart(self) -> None:  # pragma: no cover - inline workers cannot crash
@@ -473,7 +626,22 @@ class ShardRouter:
         Virtual nodes per shard on the hash ring.
     retry_limit:
         Bounded restart-and-retry attempts per sub-batch after a worker
-        crash (the prepare/submit/wait-with-retry fan-out pattern).
+        crash (the prepare/submit/wait-with-retry fan-out pattern).  The
+        retries themselves are paced by ``retry_policy`` and capped by
+        ``retry_budget``.
+    retry_policy, retry_budget:
+        Decorrelated-jitter backoff between retries and the process-wide
+        retry token bucket (defaults: :class:`RetryPolicy()` /
+        :class:`RetryBudget()`).
+    breaker:
+        :class:`~repro.resilience.breaker.BreakerConfig` shared by every
+        shard's circuit breaker.  An open shard serves from the router's
+        inline degraded fallback (outcomes flagged ``degraded=True``).
+    worker_timeout:
+        Liveness budget (seconds) for one worker pipe wait; a worker
+        silent past it is killed and restarted like a crashed one.
+    fault_plan:
+        Chaos plan, installed process-wide *and* shipped to every worker.
     force_serial:
         Skip process workers and serve every shard in-process.
     """
@@ -492,6 +660,11 @@ class ShardRouter:
         spill_dir: Optional[str] = None,
         replicas: int = DEFAULT_RING_REPLICAS,
         retry_limit: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker: Optional[BreakerConfig] = None,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+        fault_plan: Optional[FaultPlan] = None,
         force_serial: bool = False,
     ) -> None:
         if shards is None:
@@ -500,8 +673,19 @@ class ShardRouter:
             raise ValueError(f"shards must be positive, got {shards}")
         if retry_limit < 0:
             raise ValueError(f"retry_limit must be non-negative, got {retry_limit}")
+        if worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
         self.shards = int(shards)
         self.retry_limit = int(retry_limit)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.retry_budget = retry_budget if retry_budget is not None else RetryBudget()
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
+        self.worker_timeout = float(worker_timeout)
+        if fault_plan is not None:
+            # The router-side sites (pipe.send/recv, and cache/build sites
+            # of the inline fallback) read the process-wide plan; workers
+            # additionally install their shipped copy at startup.
+            install_plan(fault_plan)
         self.config = ShardConfig(
             mode=mode,
             delta=float(delta),
@@ -511,6 +695,7 @@ class ShardRouter:
             plan=plan,
             fanin=fanin,
             base_size=base_size,
+            fault_plan=fault_plan,
         )
         self.ring = ConsistentHashRing(self.shards, replicas=replicas)
         self.serial_fallback: Optional[str] = None
@@ -526,7 +711,13 @@ class ShardRouter:
         self.batches_routed = 0
         self.requests_routed = 0
         self.retries = 0
+        self.degraded_requests = 0
         self.closed = False
+        #: Deterministic jitter source + injectable sleep (tests stub both).
+        self._rng = random.Random(0x5EED ^ self.shards)
+        self._sleep = time.sleep
+        self._fallback_lock = threading.Lock()
+        self._fallback_service: Optional[QueryService] = None
         registry = get_registry()
         self._pipe_seconds = registry.histogram(
             "repro_shard_pipe_seconds",
@@ -536,6 +727,25 @@ class ShardRouter:
         self._retries_metric = registry.counter(
             "repro_shard_retries_total", "Sub-batches retried after a worker crash"
         )
+        self._breaker_transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit breaker state transitions per shard",
+            ("shard", "from", "to"),
+        )
+        self._degraded_metric = registry.counter(
+            "repro_degraded_requests_total",
+            "Requests served by the inline degraded fallback (breaker open / "
+            "retries exhausted)",
+            ("shard",),
+        )
+        self._breakers = [
+            CircuitBreaker(
+                self.breaker_config,
+                name=str(shard),
+                on_transition=self._note_breaker_transition,
+            )
+            for shard in range(self.shards)
+        ]
         # Per-shard routing counters are *collected* from the same
         # worker.requests_routed the /stats document reports, so the two
         # surfaces reconcile exactly instead of drifting in parallel counts.
@@ -618,29 +828,113 @@ class ShardRouter:
         # index lands in the same worker's cache.
         return self.shard_for(request.target, kind, strict)
 
-    def _call(self, shard_id: int, cmd: str, payload: Any, request_count: int = 0) -> Any:
-        """One worker command with crash detection, restart and bounded retry."""
+    def _note_breaker_transition(self, name: str, old: str, new: str) -> None:
+        self._breaker_transitions.inc(shard=name, **{"from": old, "to": new})
+        span_event("breaker_transition", shard=name, old_state=old, new_state=new)
+
+    def _call(
+        self,
+        shard_id: int,
+        cmd: str,
+        payload: Any,
+        request_count: int = 0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> Any:
+        """One worker command with crash/hang detection, backoff-paced retry.
+
+        The wait on the pipe is bounded twice over: by ``worker_timeout``
+        (liveness — a silent worker is killed and restarted) and by the
+        ambient request deadline (the call is abandoned, the worker lives).
+        Crashes retry up to ``retry_limit`` times, each retry paced by the
+        decorrelated-jitter :class:`RetryPolicy` and paid for from the
+        shared :class:`RetryBudget`; when ``breaker`` is given, every
+        attempt's outcome feeds the shard's circuit breaker.
+        """
         worker = self._workers[shard_id]
+        deadline = current_deadline()
         waited_from = time.perf_counter()
         with worker.lock:
             waited = time.perf_counter() - waited_from
             last_crash: Optional[ShardWorkerCrash] = None
-            for attempt in range(self.retry_limit + 1):
+            attempt = 0
+            delay = 0.0
+            while True:
+                if deadline is not None and deadline.expired:
+                    note_expiry("router", shard=shard_id, cmd=cmd)
+                    raise DeadlineExceeded(
+                        f"deadline ({deadline.describe()}) expired before shard "
+                        f"{shard_id} dispatch",
+                        stage="router",
+                    )
                 executing_from = time.perf_counter()
                 try:
-                    result = worker.call(cmd, payload)
+                    result = worker.call(
+                        cmd,
+                        payload,
+                        deadline_seconds=(
+                            deadline.remaining() if deadline is not None else None
+                        ),
+                        hang_seconds=self.worker_timeout,
+                    )
                 except ShardWorkerCrash as crash:
                     last_crash = crash
+                    attempt += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                    if isinstance(crash, ShardWorkerHang):
+                        span_event(
+                            "shard_hang", shard=shard_id, cmd=cmd, attempt=attempt
+                        )
                     span_event(
-                        "shard_restart", shard=shard_id, attempt=attempt, cmd=cmd
+                        "shard_restart", shard=shard_id, attempt=attempt - 1, cmd=cmd
                     )
                     worker.restart()
+                    if attempt > self.retry_limit:
+                        break
+                    if not self.retry_budget.try_spend():
+                        raise ShardRetriesExhausted(
+                            f"shard {shard_id} worker crashed and the retry budget "
+                            f"is exhausted; failing fast ({last_crash})"
+                        )
+                    delay = self.retry_policy.backoff(delay, self._rng)
+                    if deadline is not None:
+                        remaining = deadline.remaining()
+                        if remaining <= 0.0:
+                            note_expiry("router", shard=shard_id, cmd=cmd)
+                            raise DeadlineExceeded(
+                                f"deadline expired backing off for shard {shard_id}",
+                                stage="router",
+                            )
+                        delay = min(delay, remaining)
                     with self._metrics_lock:
-                        if attempt < self.retry_limit:
-                            self.retries += 1
-                            self._retries_metric.inc()
-                            span_event("shard_retry", shard=shard_id, attempt=attempt + 1)
+                        self.retries += 1
+                    self._retries_metric.inc()
+                    span_event(
+                        "shard_retry",
+                        shard=shard_id,
+                        attempt=attempt,
+                        backoff_seconds=delay,
+                    )
+                    self._sleep(delay)
                     continue
+                except DeadlineExceeded:
+                    raise
+                except ServiceRequestError:
+                    # The worker answered; the *request* was bad.  Healthy.
+                    if breaker is not None:
+                        breaker.record_success()
+                    self.retry_budget.credit()
+                    raise
+                except RuntimeError:
+                    # Structured internal error (or an injected router-side
+                    # fault): the worker is alive but failing — this is the
+                    # error-rate signal the breaker's window threshold eats.
+                    if breaker is not None:
+                        breaker.record_failure()
+                    raise
+                if breaker is not None:
+                    breaker.record_success()
+                self.retry_budget.credit()
                 self._pipe_seconds.observe(time.perf_counter() - executing_from, cmd=cmd)
                 if request_count:
                     # The timing split covers request-bearing work only
@@ -654,8 +948,8 @@ class ShardRouter:
                             time.perf_counter() - executing_from, request_count
                         )
                 return result
-        raise RuntimeError(
-            f"shard {shard_id} worker crashed {self.retry_limit + 1} times on one "
+        raise ShardRetriesExhausted(
+            f"shard {shard_id} worker crashed {attempt} times on one "
             f"sub-batch; giving up ({last_crash})"
         )
 
@@ -686,10 +980,32 @@ class ShardRouter:
 
         def run_shard(shard_id: int, members: List[Tuple[int, QueryRequest]]):
             sub_requests = [request for _, request in members]
+            breaker = self._breakers[shard_id]
+            if not breaker.allow():
+                # Breaker open (or a probe already in flight): do not touch
+                # the worker at all — serve stale-tolerant from the inline
+                # fallback, flagged degraded.
+                return self._serve_degraded(shard_id, sub_requests)
             with span("worker", shard=shard_id, requests=len(sub_requests)):
-                return self._call(
-                    shard_id, "submit", sub_requests, request_count=len(sub_requests)
-                )
+                try:
+                    return self._call(
+                        shard_id,
+                        "submit",
+                        sub_requests,
+                        request_count=len(sub_requests),
+                        breaker=breaker,
+                    )
+                except DeadlineExceeded:
+                    # Says nothing about worker health — hand back the probe
+                    # slot (no-op unless half-open) so the breaker can't wedge.
+                    breaker.release_probe()
+                    raise
+                except ShardRetriesExhausted:
+                    if breaker.state == "open":
+                        # The crash loop tripped the breaker: this sub-batch
+                        # still gets an answer, just a degraded one.
+                        return self._serve_degraded(shard_id, sub_requests)
+                    raise
 
         items = sorted(sub_batches.items())
         with span("route", sub_batches=len(items)):
@@ -737,6 +1053,37 @@ class ShardRouter:
             indexes_built=built,
             indexes_reused=reused,
         )
+
+    def _serve_degraded(self, shard_id: int, sub_requests: List[QueryRequest]):
+        """Answer one shard's sub-batch from the router-local fallback.
+
+        Used while the shard's breaker is open: the requests are served by a
+        lazily built in-process :class:`QueryService` (no spill directory, no
+        fault plan — the fallback must stay boring) and every outcome is
+        flagged ``degraded=True`` so callers can tell a possibly-stale answer
+        from a worker-fresh one.  Returns the same ``(outcomes, built,
+        reused)`` tuple the worker's ``submit`` command produces.
+        """
+        service = self._fallback_service
+        if service is None:
+            with self._fallback_lock:
+                service = self._fallback_service
+                if service is None:
+                    fallback_config = replace(
+                        self.config, spill_root=None, fault_plan=None
+                    )
+                    service, _ = _build_worker_service(fallback_config, -1)
+                    self._fallback_service = service
+        with span("degraded", shard=shard_id, requests=len(sub_requests)):
+            result = service.submit(sub_requests)
+        outcomes = [replace(outcome, degraded=True) for outcome in result.outcomes]
+        with self._metrics_lock:
+            self.degraded_requests += len(sub_requests)
+        self._degraded_metric.inc(len(sub_requests), shard=str(shard_id))
+        span_event(
+            "degraded_serve", shard=shard_id, requests=len(sub_requests)
+        )
+        return outcomes, result.indexes_built, result.indexes_reused
 
     # --------------------------------------------------------------- warm-up
     def ensure_index(
@@ -809,15 +1156,27 @@ class ShardRouter:
         restarts = {"type": "counter",
                     "help": "Worker restarts after a crash, per shard",
                     "samples": []}
+        hangs = {"type": "counter",
+                 "help": "Hung workers detected (and killed), per shard",
+                 "samples": []}
+        breaker_state = {"type": "gauge",
+                         "help": "Per-shard breaker state (0=closed, 1=half_open, 2=open)",
+                         "samples": []}
         for worker in self._workers:
             labels = [["shard", str(worker.shard_id)]]
             requests["samples"].append([labels, worker.requests_routed])
             sub_batches["samples"].append([labels, worker.sub_batches])
             restarts["samples"].append([labels, worker.restarts])
+            hangs["samples"].append([labels, worker.hangs])
+            breaker_state["samples"].append(
+                [labels, BREAKER_STATE_CODES[self._breakers[worker.shard_id].state]]
+            )
         return {
             "repro_shard_requests_total": requests,
             "repro_shard_sub_batches_total": sub_batches,
             "repro_shard_restarts_total": restarts,
+            "repro_shard_hangs_total": hangs,
+            "repro_breaker_state": breaker_state,
         }
 
     def extra_metric_snapshots(self) -> List[Dict[str, Any]]:
@@ -905,6 +1264,26 @@ class ShardRouter:
                 "shard_exec": self.shard_exec.summary(),
             }
             batches, requests, retries = self.batches_routed, self.requests_routed, self.retries
+            degraded = self.degraded_requests
+
+        resilience: Dict[str, Any] = {
+            "worker_timeout_seconds": self.worker_timeout,
+            "retry_policy": {
+                "base_seconds": self.retry_policy.base_seconds,
+                "cap_seconds": self.retry_policy.cap_seconds,
+                "multiplier": self.retry_policy.multiplier,
+            },
+            "retry_budget": self.retry_budget.stats(),
+            "hangs": sum(worker.hangs for worker in self._workers),
+            "degraded_requests": degraded,
+            "breakers": {
+                str(shard): self._breakers[shard].stats()
+                for shard in range(self.shards)
+            },
+        }
+        plan = active_plan()
+        if plan is not None:
+            resilience["fault_plan"] = plan.stats()
         return {
             "sharded": True,
             "shards": self.shards,
@@ -929,6 +1308,7 @@ class ShardRouter:
                 "imbalance": imbalance,
             },
             "router_timings": timings,
+            "resilience": resilience,
             "cache": cache,
             "per_shard": per_shard,
         }
